@@ -1,0 +1,31 @@
+"""Size policy shared by the benchmark suite.
+
+Default sizes keep a full ``pytest benchmarks/ --benchmark-only`` run in
+the minutes range on a laptop.  Set ``REPRO_BENCH_FULL=1`` to sweep the
+paper's full sample sizes (up to n = 20,000 - expect a long run: the
+paper's own sequential program took 81 s per pass at that size).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Sample sizes benchmarked per program (Figure 1 / Table I sweep).
+BENCH_SIZES = (500, 2000, 10000, 20000) if FULL else (500, 2000)
+
+#: The single "headline" size used for cross-program comparisons.
+HEADLINE_N = 20000 if FULL else 2000
+
+#: Bandwidth counts for the Table II sweep.
+BENCH_BANDWIDTH_COUNTS = (5, 50, 500, 2000) if FULL else (5, 50, 500)
+
+
+@functools.lru_cache(maxsize=None)
+def sample_for(n: int):
+    """Deterministic paper-DGP sample of size n (cached per session)."""
+    from repro.data import paper_dgp
+
+    return paper_dgp(n, seed=0)

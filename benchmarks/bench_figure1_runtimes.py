@@ -1,0 +1,41 @@
+"""FIG1 — Figure 1: run time of each program versus sample size.
+
+Regenerates the Figure 1 series: one pytest-benchmark entry per
+(program, n) cell, on the paper's DGP with the paper's k = 50 grid.
+Compare groups with::
+
+    pytest benchmarks/bench_figure1_runtimes.py --benchmark-only \
+        --benchmark-group-by=param:n
+
+The cuda-gpu rows time the *host execution* of the simulated program
+(its modelled Tesla-S1070 seconds are reported by
+``python -m repro fig1`` and checked in tests/cuda_port).
+"""
+
+import pytest
+
+from _bench_config import BENCH_SIZES, sample_for
+from repro.bench.programs import run_program
+
+PROGRAMS = ("racine-hayfield", "multicore-r", "sequential-c", "cuda-gpu")
+
+
+@pytest.mark.parametrize("n", BENCH_SIZES)
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_figure1_cell(benchmark, program, n):
+    sample = sample_for(n)
+    opts = {}
+    if program in ("racine-hayfield", "multicore-r"):
+        # Match the bench protocol: modest optimisation budget so the
+        # slowest cells stay benchmarkable; relative shape is unaffected.
+        opts = {"n_restarts": 2, "maxiter": 60, "seed": 0}
+
+    def run():
+        return run_program(program, sample.x, sample.y, k=min(50, n), **opts)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.result.bandwidth > 0.0
+    benchmark.extra_info["program"] = program
+    benchmark.extra_info["n"] = n
+    if result.simulated_seconds is not None:
+        benchmark.extra_info["simulated_tesla_seconds"] = result.simulated_seconds

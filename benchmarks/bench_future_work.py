@@ -1,0 +1,95 @@
+"""EXT2/EXT3 — the paper's future-work fixes, measured.
+
+* **Tiled program (EXT2)** — "eliminating the reliance on storing n-by-n
+  matrices": same results, bounded device memory, runs past the
+  n = 20,000 wall.  Benchmarked at the headline size against the
+  monolithic program; the beyond-the-wall run is asserted (and sized by
+  REPRO_BENCH_FULL).
+* **Dual GPU (EXT3)** — using both Tesla S10 modules of the paper's
+  machine: identical scores, modelled speedup just under 2x.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_config import FULL, HEADLINE_N, sample_for
+from repro.core.grid import BandwidthGrid
+from repro.cuda_port import (
+    CudaBandwidthProgram,
+    MultiGpuBandwidthProgram,
+    TiledCudaBandwidthProgram,
+    estimate_multi_gpu_runtime,
+    estimate_program_runtime,
+    estimate_tiled_runtime,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    sample = sample_for(HEADLINE_N)
+    return sample, BandwidthGrid.for_sample(sample.x, 50)
+
+
+def test_ext2_monolithic_program(benchmark, data):
+    sample, grid = data
+    program = CudaBandwidthProgram(mode="fast")
+    result = benchmark.pedantic(
+        program.run, args=(sample.x, sample.y, grid.values), rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_tesla_seconds"] = result.simulated_seconds
+
+
+def test_ext2_tiled_program(benchmark, data):
+    sample, grid = data
+    program = TiledCudaBandwidthProgram()
+    result = benchmark.pedantic(
+        program.run, args=(sample.x, sample.y, grid.values), rounds=1, iterations=1
+    )
+    benchmark.extra_info["tiles"] = result.memory_report["tiles"]
+    benchmark.extra_info["simulated_tesla_seconds"] = result.simulated_seconds
+    # Scores identical to the monolithic program.
+    mono = CudaBandwidthProgram(mode="fast").run(sample.x, sample.y, grid.values)
+    np.testing.assert_allclose(result.scores, mono.scores, rtol=1e-6)
+
+
+def test_ext2_beyond_the_wall(benchmark):
+    # The monolithic program cannot run here (4 GB OOM); the tiled one can.
+    n = 40_000 if FULL else 22_000
+    rng = np.random.default_rng(0)
+    x = rng.uniform(size=n)
+    y = 0.5 * x + 10 * x * x + rng.uniform(0, 0.5, size=n)
+    grid = BandwidthGrid.for_sample(x, 50)
+
+    program = TiledCudaBandwidthProgram()
+    result = benchmark.pedantic(
+        program.run, args=(x, y, grid.values), rounds=1, iterations=1
+    )
+    assert result.memory_report["peak_gb"] < 4.0
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["simulated_tesla_seconds"] = result.simulated_seconds
+
+
+def test_ext3_dual_gpu_program(benchmark, data):
+    sample, grid = data
+    program = MultiGpuBandwidthProgram()
+    result = benchmark.pedantic(
+        program.run, args=(sample.x, sample.y, grid.values), rounds=1, iterations=1
+    )
+    single = estimate_program_runtime(HEADLINE_N, 50).total_seconds
+    dual = estimate_multi_gpu_runtime(HEADLINE_N, 50).total_seconds
+    benchmark.extra_info["modeled_speedup"] = single / dual
+    assert 1.5 < single / dual < 2.0
+
+
+def test_ext3_modeled_scaling_curve(benchmark):
+    def curve():
+        return {
+            d: estimate_multi_gpu_runtime(20_000, 50, n_devices=d).total_seconds
+            for d in (1, 2, 4, 8)
+        }
+
+    times = benchmark(curve)
+    # Diminishing returns (Amdahl), but monotone improvement.
+    values = list(times.values())
+    assert values == sorted(values, reverse=True)
+    benchmark.extra_info["modeled_seconds_by_devices"] = times

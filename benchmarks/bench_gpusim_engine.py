@@ -1,0 +1,66 @@
+"""GPUSIM — cost of the simulator substrate itself.
+
+Not a paper artifact: these benches quantify the functional simulator's
+interpreter overhead (why the `fast` device-executor mode exists) and
+the per-launch cost of the cooperative barrier scheduler and reductions.
+Useful as a regression guard when evolving the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import BandwidthGrid
+from repro.cuda_port import CudaBandwidthProgram
+from repro.data import paper_dgp
+from repro.gpusim import device_argmin, device_sum, iterative_quicksort
+
+FUNCTIONAL_N = 128
+
+
+@pytest.fixture(scope="module")
+def small():
+    sample = paper_dgp(FUNCTIONAL_N, seed=0)
+    return sample, BandwidthGrid.for_sample(sample.x, 10)
+
+
+def test_functional_program(benchmark, small):
+    sample, grid = small
+    program = CudaBandwidthProgram(mode="functional")
+    result = benchmark.pedantic(
+        program.run, args=(sample.x, sample.y, grid.values), rounds=1, iterations=1
+    )
+    assert result.mode == "functional"
+
+
+def test_fast_program_same_size(benchmark, small):
+    sample, grid = small
+    program = CudaBandwidthProgram(mode="fast")
+    result = benchmark(program.run, sample.x, sample.y, grid.values)
+    assert result.mode == "fast"
+
+
+def test_device_sum_reduction(benchmark):
+    data = np.random.default_rng(0).uniform(size=4096).astype(np.float32)
+    total, _ = benchmark(device_sum, data, block_dim=512)
+    assert total == pytest.approx(float(data.sum()), rel=1e-3)
+
+
+def test_device_argmin_reduction(benchmark):
+    rng = np.random.default_rng(1)
+    scores = rng.uniform(size=2048).astype(np.float32)
+    values = np.arange(2048, dtype=np.float32)
+    _, val, _ = benchmark(device_argmin, scores, values, block_dim=512)
+    assert val == float(scores.argmin())
+
+
+def test_iterative_quicksort_per_thread_cost(benchmark):
+    rng = np.random.default_rng(2)
+
+    def run():
+        keys = rng.uniform(size=FUNCTIONAL_N)
+        payload = rng.uniform(size=FUNCTIONAL_N)
+        iterative_quicksort(keys, payload)
+        return keys
+
+    keys = benchmark(run)
+    assert (np.diff(keys) >= 0).all()

@@ -1,0 +1,70 @@
+"""MEM — §IV-A / §V: the paper's device-memory behaviour, benchmarked.
+
+* allocation/accounting cost of the §IV-A malloc sequence;
+* the 4 GB OOM wall above n = 20,000 (the reason the paper's results
+  stop there) — asserted at the exact boundary;
+* the constant-memory cap at 2,048 bandwidths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda_port import CudaBandwidthProgram
+from repro.core.grid import BandwidthGrid
+from repro.data import paper_dgp
+from repro.exceptions import ConstantMemoryError, DeviceMemoryError
+from repro.gpusim import GlobalMemory, TESLA_S1070
+
+
+def _alloc_sequence(n: int, k: int) -> dict:
+    """The §IV-A allocation sequence (account-only), then free."""
+    gmem = GlobalMemory(TESLA_S1070)
+    try:
+        gmem.reserve(n, np.float32, label="x")
+        gmem.reserve(n, np.float32, label="y")
+        gmem.reserve(k, np.float32, label="scores")
+        gmem.reserve((n, n), np.float32, label="absdiff")
+        gmem.reserve((n, n), np.float32, label="ymat")
+        for i in range(4):
+            gmem.reserve((n, k), np.float32, label=f"sums{i}")
+        gmem.reserve((k, n), np.float32, label="sqresid")
+        return gmem.report()
+    finally:
+        gmem.free_all()
+
+
+def test_allocation_accounting_speed(benchmark):
+    report = benchmark(_alloc_sequence, 20_000, 50)
+    assert report["peak_gb"] > 3.0  # two 1.6 GB matrices dominate
+
+
+def test_paper_ceiling_n20000_fits(benchmark):
+    def run():
+        report = _alloc_sequence(20_000, 50)
+        assert report["peak_gb"] < TESLA_S1070.global_memory_bytes / 1e9
+        return report
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_oom_wall_above_20000(benchmark):
+    def run():
+        with pytest.raises(DeviceMemoryError):
+            _alloc_sequence(25_000, 50)
+        return True
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_constant_memory_cap_2048(benchmark):
+    sample = paper_dgp(300, seed=0)
+    too_many = BandwidthGrid.evenly_spaced(1e-4, 1.0, 2049)
+
+    def run():
+        with pytest.raises(ConstantMemoryError):
+            CudaBandwidthProgram(mode="fast").run(
+                sample.x, sample.y, too_many.values
+            )
+        return True
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

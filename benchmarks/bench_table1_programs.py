@@ -1,0 +1,63 @@
+"""TAB1 — Table I: run times by program and sample size.
+
+One benchmark per program at the headline size (all four on identical
+data and grid, so the group directly reproduces a Table I row), plus the
+rule-of-thumb baseline from the paper's introduction.  Group with::
+
+    pytest benchmarks/bench_table1_programs.py --benchmark-only \
+        --benchmark-group-by=func
+
+The modelled paper-machine row (232.5 / 124.7 / 80.9 / 32.5 s at
+n = 20,000) is attached as extra_info for the report.
+"""
+
+import pytest
+
+from _bench_config import HEADLINE_N, sample_for
+from repro.bench.machine_model import MODELED_PROGRAMS, model_program
+from repro.bench.programs import run_program
+
+
+def _bench_program(benchmark, program, **opts):
+    sample = sample_for(HEADLINE_N)
+    k = min(50, HEADLINE_N)
+
+    def run():
+        return run_program(program, sample.x, sample.y, k=k, **opts)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = HEADLINE_N
+    if program in MODELED_PROGRAMS:
+        benchmark.extra_info["modeled_paper_machine_seconds"] = model_program(
+            program, HEADLINE_N, k
+        )
+    return result
+
+
+def test_table1_racine_hayfield(benchmark):
+    run = _bench_program(
+        benchmark, "racine-hayfield", n_restarts=2, maxiter=60, seed=0
+    )
+    assert run.result.n_evaluations > 20
+
+
+def test_table1_multicore_r(benchmark):
+    run = _bench_program(
+        benchmark, "multicore-r", n_restarts=2, maxiter=60, seed=0
+    )
+    assert run.result.backend == "multicore"
+
+
+def test_table1_sequential_c(benchmark):
+    run = _bench_program(benchmark, "sequential-c")
+    assert run.result.n_evaluations == min(50, HEADLINE_N)
+
+
+def test_table1_cuda_gpu(benchmark):
+    run = _bench_program(benchmark, "cuda-gpu")
+    assert run.simulated_seconds is not None
+
+
+def test_table1_rule_of_thumb(benchmark):
+    run = _bench_program(benchmark, "rule-of-thumb")
+    assert run.result.method == "rule-of-thumb"

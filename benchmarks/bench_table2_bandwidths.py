@@ -1,0 +1,52 @@
+"""TAB2 — Table II: run times by number of bandwidths calculated.
+
+Panel A (sequential fast grid, measured): one benchmark per bandwidth
+count at the headline n — the paper's claim is that the sweep is nearly
+flat in k (< 5 % growth from k=5 to k=2,000 at n = 20,000), because the
+sort dominates and the grid sweep only adds O(k) work per observation.
+
+Panel B (CUDA program): the simulated Tesla time is a deterministic
+model, so it is *asserted* (flat within 10 %) rather than timed, and the
+host execution of the simulated program is benchmarked at one k for
+reference.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_config import BENCH_BANDWIDTH_COUNTS, HEADLINE_N, sample_for
+from repro.core.fastgrid import cv_scores_fastgrid
+from repro.core.grid import BandwidthGrid
+from repro.cuda_port import CudaBandwidthProgram, estimate_program_runtime
+
+
+@pytest.mark.parametrize("k", BENCH_BANDWIDTH_COUNTS)
+def test_table2_panel_a_sequential(benchmark, k):
+    sample = sample_for(HEADLINE_N)
+    grid = BandwidthGrid.for_sample(sample.x, k)
+
+    scores = benchmark(cv_scores_fastgrid, sample.x, sample.y, grid.values)
+    assert np.isfinite(scores).all()
+    benchmark.extra_info["n"] = HEADLINE_N
+    benchmark.extra_info["k"] = k
+
+
+@pytest.mark.parametrize("k", BENCH_BANDWIDTH_COUNTS)
+def test_table2_panel_b_cuda(benchmark, k):
+    sample = sample_for(HEADLINE_N)
+    grid = BandwidthGrid.for_sample(sample.x, k)
+    program = CudaBandwidthProgram(mode="fast")
+
+    result = benchmark.pedantic(
+        program.run, args=(sample.x, sample.y, grid.values), rounds=1, iterations=1
+    )
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["simulated_tesla_seconds"] = result.simulated_seconds
+
+    # The Table II panel B claim, on the modelled Tesla time: near-flat
+    # in k ("we do not observe appreciable slowdowns").
+    t_small = estimate_program_runtime(HEADLINE_N, BENCH_BANDWIDTH_COUNTS[0])
+    t_here = estimate_program_runtime(HEADLINE_N, k)
+    assert (
+        t_here.total_seconds < 1.15 * t_small.total_seconds
+    ), "simulated CUDA time must stay nearly flat in k"

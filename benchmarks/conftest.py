@@ -1,0 +1,20 @@
+"""Benchmark-suite fixtures (size policy lives in _bench_config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import HEADLINE_N, sample_for
+from repro.core.grid import BandwidthGrid
+
+
+@pytest.fixture(scope="session")
+def headline_sample():
+    """Paper-DGP sample at the headline size."""
+    return sample_for(HEADLINE_N)
+
+
+@pytest.fixture(scope="session")
+def headline_grid(headline_sample):
+    """The paper's k=50 default grid over the headline sample."""
+    return BandwidthGrid.for_sample(headline_sample.x, 50)

@@ -1,0 +1,63 @@
+"""Grid refinement: precision beyond the 2,048-bandwidth cap.
+
+§IV-A: "If a higher level of precision is necessary, the user can run
+the optimization code multiple times with progressively smaller ranges
+of possible bandwidths."  This example runs that workflow:
+
+* a coarse k=50 grid (grid spacing limits precision to domain/50);
+* the same search with 3 refinement rounds, each re-centred on the
+  incumbent optimum with a 10x narrower range;
+* a numerical optimiser as the precision yardstick — and a demonstration
+  of *why* the paper distrusts it (restart-to-restart dispersion on a
+  non-concave objective).
+
+Run:  python examples/bandwidth_refinement.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    GridSearchSelector,
+    NumericalOptimizationSelector,
+    cv_score,
+)
+from repro.data import sine_dgp
+
+
+def main() -> None:
+    sample = sine_dgp(n=800, seed=21)
+    x, y = sample.x, sample.y
+    print(f"sine DGP, n={sample.n}: CV optimum is interior and sharp\n")
+
+    coarse = GridSearchSelector(n_bandwidths=50).select(x, y)
+    refined = GridSearchSelector(n_bandwidths=50, refine_rounds=3).select(x, y)
+    print(f"{'selector':<28} {'h':>12} {'CV(h)':>14} {'evals':>7}")
+    print(f"{'coarse grid (k=50)':<28} {coarse.bandwidth:>12.6f} "
+          f"{coarse.score:>14.8f} {coarse.n_evaluations:>7d}")
+    print(f"{'refined grid (3 rounds)':<28} {refined.bandwidth:>12.6f} "
+          f"{refined.score:>14.8f} {refined.n_evaluations:>7d}")
+    for step in refined.diagnostics["refinements"]:
+        print(f"    round {step['round']}: h={step['h']:.6f}  CV={step['score']:.8f}")
+
+    # Numerical optimisation: precise when it lands in the right basin,
+    # but restart-dependent — run each restart separately to show the
+    # dispersion the paper's §III warns about.
+    print("\nnumerical optimisation, one restart at a time:")
+    optima = []
+    for seed in range(5):
+        res = NumericalOptimizationSelector(
+            n_restarts=1, seed=seed, maxiter=120
+        ).select(x, y)
+        optima.append(res.bandwidth)
+        print(f"    seed {seed}: h={res.bandwidth:.6f}  CV={res.score:.8f}")
+    spread = max(optima) - min(optima)
+    print(f"restart spread: {spread:.6f} "
+          f"({spread / refined.bandwidth * 100:.1f}% of the refined optimum)")
+    print("\nthe refined grid reaches optimiser-level precision while "
+          "staying deterministic and global on its range:")
+    print(f"    CV at refined h : {cv_score(x, y, refined.bandwidth):.8f}")
+    print(f"    CV at best seed : {min(cv_score(x, y, h) for h in optima):.8f}")
+
+
+if __name__ == "__main__":
+    main()

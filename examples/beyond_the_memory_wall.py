@@ -1,0 +1,86 @@
+"""Past n = 20,000: the paper's future-work fixes in action.
+
+§V: "program 4) cannot run at sample sizes greater than 20,000, because
+the memory requirements become prohibitive.  Future work will address
+this issue by eliminating the reliance on storing n-by-n matrices in the
+GPU's device memory."  §IV-C also notes the machine carries *two* Tesla
+S10 modules while the program uses one.
+
+This example implements both follow-ups on the simulator:
+
+1. reproduce the wall: the monolithic program OOMs at n = 25,000;
+2. the tiled program runs the same problem in bounded device memory;
+3. the dual-GPU split halves the modelled main-kernel time (~1.98x);
+4. modelled Tesla run times for the combinations, out to n = 100,000.
+
+Run:  python examples/beyond_the_memory_wall.py
+"""
+
+import numpy as np
+
+from repro.core.grid import BandwidthGrid
+from repro.cuda_port import (
+    CudaBandwidthProgram,
+    MultiGpuBandwidthProgram,
+    TiledCudaBandwidthProgram,
+    default_tile_rows,
+    estimate_multi_gpu_runtime,
+    estimate_program_runtime,
+    estimate_tiled_runtime,
+)
+from repro.exceptions import DeviceMemoryError
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 25_000
+    x = rng.uniform(size=n)
+    y = 0.5 * x + 10 * x * x + rng.uniform(0, 0.5, size=n)
+    grid = BandwidthGrid.for_sample(x, 50)
+
+    # -- 1. the wall --------------------------------------------------------
+    print(f"n = {n:,}, k = {len(grid)} on the simulated Tesla S1070 (4 GB):")
+    try:
+        CudaBandwidthProgram(mode="fast").run(x, y, grid.values)
+    except DeviceMemoryError as exc:
+        print(f"  monolithic program: DeviceMemoryError — {exc}")
+
+    # -- 2. the tiled fix ----------------------------------------------------
+    tile = default_tile_rows(n)
+    tiled = TiledCudaBandwidthProgram().run(x, y, grid.values)
+    print(f"\n  tiled program     : OK — {tiled.memory_report['tiles']} tiles of "
+          f"{tile:,} rows, peak {tiled.memory_report['peak_gb']:.2f} GB, "
+          f"h* = {tiled.bandwidth:.4f}")
+    print(f"    modelled Tesla time: {tiled.simulated_seconds:.1f} s "
+          f"(the n-by-n layout would not run at all)")
+
+    # -- 3. the dual-GPU fix --------------------------------------------------
+    smaller = 20_000
+    xs, ys = x[:smaller], y[:smaller]
+    gs = BandwidthGrid.for_sample(xs, 50)
+    dual = MultiGpuBandwidthProgram().run(xs, ys, gs.values)
+    t1 = estimate_program_runtime(smaller, 50).total_seconds
+    t2 = estimate_multi_gpu_runtime(smaller, 50).total_seconds
+    print(f"\n  dual Tesla S10 at n = {smaller:,}: h* = {dual.bandwidth:.4f}, "
+          f"modelled {t2:.1f} s vs {t1:.1f} s on one module "
+          f"({t1 / t2:.2f}x)")
+
+    # -- 4. modelled scaling table --------------------------------------------
+    print("\nmodelled Tesla-S1070 run times (seconds), k = 50:")
+    print(f"{'n':>10} {'monolithic':>12} {'tiled':>10} {'tiled+2gpu':>12}")
+    for size in (10_000, 20_000, 40_000, 100_000):
+        mono = (
+            f"{estimate_program_runtime(size, 50).total_seconds:12.1f}"
+            if 2 * size * size * 4 < 4 * 1024**3
+            else f"{'OOM':>12}"
+        )
+        tiled_t = estimate_tiled_runtime(size, 50).total_seconds
+        both = estimate_multi_gpu_runtime(size, 50).total_seconds * (
+            estimate_tiled_runtime(size, 50).total_seconds
+            / estimate_program_runtime(size, 50).total_seconds
+        )
+        print(f"{size:>10,} {mono} {tiled_t:>10.1f} {both:>12.1f}")
+
+
+if __name__ == "__main__":
+    main()

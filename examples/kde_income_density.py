@@ -1,0 +1,58 @@
+"""KDE extension: least-squares CV bandwidth for density estimation.
+
+The paper (§II) notes its least-squares cross-validation machinery
+"can be applied to ... optimal bandwidth selection for kernel density
+estimation".  This example does exactly that on a bimodal synthetic
+"income" distribution — the classic case where normal-reference rules of
+thumb (Silverman, Scott) oversmooth and merge the modes, while LSCV
+keeps them separate:
+
+* select bandwidths by LSCV grid (fast sorted sweep), Silverman, Scott;
+* compare integrated squared error against the true density;
+* show the estimated density height at the modes and the antimode.
+
+Run:  python examples/kde_income_density.py
+"""
+
+import numpy as np
+
+from repro.data import bimodal_normal_sample
+from repro.kde import KernelDensity, select_kde_bandwidth
+
+
+def main() -> None:
+    sample = bimodal_normal_sample(n=1200, seed=3)
+    x = sample.x
+    print(f"bimodal sample: n={sample.n} (modes at -1.5 and +1.5)")
+
+    methods = ("lscv-grid", "silverman", "scott")
+    fits: dict[str, KernelDensity] = {}
+    print(f"\n{'method':<12} {'h':>9} {'LSCV(h)':>12} {'ISE vs truth':>14}")
+    for method in methods:
+        sel = select_kde_bandwidth(x, method=method, n_bandwidths=100)
+        kde = KernelDensity(bandwidth=sel.bandwidth).fit(x)
+        ise = kde.integrated_squared_error(sample.pdf)
+        fits[method] = kde
+        print(f"{method:<12} {sel.bandwidth:>9.4f} {sel.score:>12.6f} {ise:>14.6f}")
+
+    # Mode separation: the true density dips at 0; oversmoothing fills
+    # the valley in.
+    probe = np.array([-1.5, 0.0, 1.5])
+    truth = sample.true_density(probe)
+    print("\ndensity at the modes and the antimode:")
+    print(f"{'x':>6} {'truth':>9} " + " ".join(f"{m:>10}" for m in methods))
+    for i, xi in enumerate(probe):
+        est = " ".join(f"{fits[m].evaluate(np.array([xi]))[0]:>10.4f}" for m in methods)
+        print(f"{xi:>6.1f} {truth[i]:>9.4f} {est}")
+
+    lscv_valley = fits["lscv-grid"].evaluate(np.array([0.0]))[0]
+    silv_valley = fits["silverman"].evaluate(np.array([0.0]))[0]
+    print(
+        f"\nvalley depth at x=0: LSCV {lscv_valley:.4f} vs Silverman "
+        f"{silv_valley:.4f} (truth {truth[1]:.4f}) — the rule of thumb "
+        "oversmooths the antimode, exactly the failure CV selection corrects."
+    )
+
+
+if __name__ == "__main__":
+    main()

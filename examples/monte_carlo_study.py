@@ -1,0 +1,66 @@
+"""Monte Carlo study: where do the selectors land, and at what cost?
+
+A compact version of the simulation study a referee would ask the paper
+for: draw the paper's DGP repeatedly, run each selector on the same
+draws, and compare (a) the distribution of selected bandwidths against
+the AMISE-optimal target, (b) the integrated squared error of the
+resulting fits, and (c) the run-time cost.
+
+Run:  python examples/monte_carlo_study.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    GridSearchSelector,
+    NumericalOptimizationSelector,
+    RuleOfThumbSelector,
+)
+from repro.data import paper_dgp
+from repro.theory import SelectorStudy, regression_amise_bandwidth
+
+
+def main() -> None:
+    n = 500
+    replications = 15
+    print(f"Monte Carlo study: paper DGP, n={n}, {replications} replications\n")
+
+    h_amise = regression_amise_bandwidth(
+        lambda t: 0.5 * np.asarray(t) + 10.0 * np.asarray(t) ** 2 + 0.25,
+        n,
+        noise_variance=0.5**2 / 12.0,  # variance of U(0, 0.5)
+    )
+    print(f"AMISE-optimal bandwidth (known truth): h* = {h_amise:.5f}\n")
+
+    study = SelectorStudy(paper_dgp, n=n, replications=replications, base_seed=100)
+    study.run(
+        {
+            "fast-grid": GridSearchSelector(n_bandwidths=100),
+            "fast-grid+refine": GridSearchSelector(n_bandwidths=50, refine_rounds=2),
+            "numeric": NumericalOptimizationSelector(
+                n_restarts=2, maxiter=60, seed=0
+            ),
+            "rule-of-thumb": RuleOfThumbSelector(),
+        }
+    )
+    print(study.report())
+
+    grid = study.results["fast-grid"]
+    rot = study.results["rule-of-thumb"]
+    print(
+        f"\nCV selection tracks the asymptotic target "
+        f"(mean h = {grid.bandwidths.mean():.4f} vs AMISE {h_amise:.4f}); "
+        f"the rule of thumb sits {rot.bandwidths.mean() / h_amise:.1f}x above it "
+        f"and pays {rot.mises.mean() / grid.mises.mean():.0f}x the MISE."
+    )
+    numeric = study.results["numeric"]
+    print(
+        f"numeric optimisation needs "
+        f"{numeric.wall_seconds.mean() / grid.wall_seconds.mean():.0f}x the "
+        "run time of the fast grid for the same draws — the gap the paper's "
+        "sorting innovation removes, before any GPU is involved."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Multivariate bandwidth selection on a bivariate response surface.
+
+The paper's §I notes the grid becomes "an evenly-spaced grid or matrix
+in multivariate contexts".  This example selects a per-dimension
+bandwidth vector for a bivariate regression two ways and shows why
+anisotropy matters:
+
+* the surface is wiggly in x₀ (sin(8x₀)) and almost flat in x₁, so the
+  CV-optimal bandwidths should differ strongly across dimensions;
+* the exhaustive product grid (k² dense CV evaluations) and the
+  coordinate-descent search (d fast weighted sweeps per cycle) find the
+  same structure at very different cost.
+
+Run:  python examples/multivariate_surface.py
+"""
+
+import numpy as np
+
+from repro.multivariate import (
+    CoordinateDescentSelector,
+    ProductGridSelector,
+    mv_cv_score,
+    mv_nw_estimate,
+    mv_rule_of_thumb,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    n = 800
+    x = rng.uniform(0, 1, (n, 2))
+    y = np.sin(8 * x[:, 0]) + 0.2 * x[:, 1] + rng.normal(0, 0.15, n)
+    print(f"bivariate sample: n={n}; mean = sin(8*x0) + 0.2*x1 (anisotropic)")
+
+    rot = mv_rule_of_thumb(x)
+    print(f"\nrule-of-thumb start    : h = [{rot[0]:.4f}, {rot[1]:.4f}] "
+          f"(CV = {mv_cv_score(x, y, rot):.6f})")
+
+    pg = ProductGridSelector(n_bandwidths=10).select(x, y)
+    print(f"product grid (10x10)   : h = [{pg.bandwidths[0]:.4f}, "
+          f"{pg.bandwidths[1]:.4f}] (CV = {pg.score:.6f}, "
+          f"{pg.n_evaluations} dense evaluations, {pg.wall_seconds:.2f}s)")
+
+    cd = CoordinateDescentSelector(n_bandwidths=50).select(x, y)
+    print(f"coordinate descent     : h = [{cd.bandwidths[0]:.4f}, "
+          f"{cd.bandwidths[1]:.4f}] (CV = {cd.score:.6f}, "
+          f"{len(cd.trace)} cycles, {cd.wall_seconds:.2f}s)")
+    print("\nanisotropy found: the wiggly dimension gets a bandwidth "
+          f"{cd.bandwidths[1] / cd.bandwidths[0]:.1f}x smaller than the flat one")
+
+    # Fit quality at the coordinate-descent optimum.
+    probe = np.array([[0.2, 0.5], [0.4, 0.5], [0.6, 0.5], [0.8, 0.5]])
+    est, _ = mv_nw_estimate(x, y, probe, cd.bandwidths)
+    truth = np.sin(8 * probe[:, 0]) + 0.2 * probe[:, 1]
+    print(f"\n{'x0':>5} {'x1':>5} {'estimate':>10} {'truth':>10}")
+    for row, e, t in zip(probe, est, truth):
+        print(f"{row[0]:>5.2f} {row[1]:>5.2f} {e:>10.4f} {t:>10.4f}")
+
+    # Cost of an isotropic constraint: force h0 = h1 at the best common h.
+    common = np.geomspace(0.02, 1.0, 40)
+    iso_scores = [mv_cv_score(x, y, np.array([h, h])) for h in common]
+    iso_best = float(common[int(np.argmin(iso_scores))])
+    print(f"\nbest isotropic h = {iso_best:.4f} gives CV = "
+          f"{min(iso_scores):.6f} vs anisotropic {cd.score:.6f} "
+          f"({(min(iso_scores) / cd.score - 1) * 100:.1f}% worse)")
+
+
+if __name__ == "__main__":
+    main()

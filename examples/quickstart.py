@@ -1,0 +1,52 @@
+"""Quickstart: select an optimal bandwidth and fit a kernel regression.
+
+Reproduces the paper's core use case end to end on its own synthetic
+DGP (X ~ U(0,1), Y = 0.5X + 10X² + U(0, 0.5)):
+
+1. draw data;
+2. select the CV-optimal bandwidth with the fast sorted grid search;
+3. compare against the rule of thumb practitioners typically use;
+4. fit the Nadaraya–Watson estimator and score it against the truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import NadarayaWatson, select_bandwidth
+from repro.data import paper_dgp
+
+
+def main() -> None:
+    sample = paper_dgp(n=2000, seed=42)
+    print(f"data: n={sample.n}, DGP={sample.name!r}, domain={sample.domain():.3f}")
+
+    # -- 1. the paper's method: fast sorted grid search over 50 bandwidths
+    grid_result = select_bandwidth(sample.x, sample.y, n_bandwidths=50)
+    print("\n--- fast grid search (the paper's method) ---")
+    print(grid_result.summary())
+
+    # -- 2. the practitioner baseline: normal-reference rule of thumb
+    rot_result = select_bandwidth(sample.x, sample.y, method="rule-of-thumb")
+    print("\n--- rule of thumb (what the intro says practitioners use) ---")
+    print(rot_result.summary())
+    worse = (rot_result.score / grid_result.score - 1.0) * 100.0
+    print(f"\nrule-of-thumb CV score is {worse:.1f}% worse than the CV optimum")
+
+    # -- 3. fit and evaluate the regression at the selected bandwidth
+    model = NadarayaWatson(bandwidth=grid_result.bandwidth).fit(sample.x, sample.y)
+    at = np.linspace(0.05, 0.95, 10)
+    estimates = model.predict(at)
+    truth = sample.true_mean(at)
+    print(f"\nNadaraya-Watson fit at h* = {grid_result.bandwidth:.4f} "
+          f"(pseudo-R2 = {model.r_squared():.4f})")
+    print(f"{'x':>6} {'estimate':>10} {'truth':>10} {'error':>10}")
+    for xi, gi, ti in zip(at, estimates, truth):
+        print(f"{xi:>6.2f} {gi:>10.4f} {ti:>10.4f} {gi - ti:>10.4f}")
+
+    rmse = float(np.sqrt(np.mean((estimates - truth) ** 2)))
+    print(f"\nRMSE against the true conditional mean: {rmse:.4f}")
+
+
+if __name__ == "__main__":
+    main()

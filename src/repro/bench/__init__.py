@@ -1,0 +1,86 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from repro.bench.figures import Figure1Result, ascii_chart, run_figure1
+from repro.bench.paper_data import (
+    PAPER_HEADLINE_SPEEDUP,
+    PAPER_PROGRAMS,
+    PAPER_TABLE1,
+    PAPER_TABLE2_CUDA,
+    PAPER_TABLE2_SEQUENTIAL,
+    paper_speedup,
+)
+from repro.bench.io import (
+    table1_rows,
+    table2_rows,
+    write_results_json,
+    write_table1_csv,
+    write_table2_csv,
+)
+from repro.bench.machine_model import (
+    MODELED_PROGRAMS,
+    model_cuda_gpu,
+    model_multicore_r,
+    model_program,
+    model_racine_hayfield,
+    model_sequential_c,
+)
+from repro.bench.programs import PROGRAMS, ProgramRun, ProgramSpec, run_program
+from repro.bench.sysinfo import machine_info
+from repro.bench.report import (
+    ShapeCheck,
+    check_large_n_ordering,
+    find_crossover,
+    headline_speedup,
+    k_growth_ratio,
+    shape_report,
+)
+from repro.bench.tables import (
+    PAPER_BANDWIDTH_COUNTS,
+    PAPER_SIZES,
+    Table1Result,
+    Table2Result,
+    default_sizes,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "MODELED_PROGRAMS",
+    "model_cuda_gpu",
+    "model_multicore_r",
+    "model_program",
+    "model_racine_hayfield",
+    "model_sequential_c",
+    "PAPER_BANDWIDTH_COUNTS",
+    "PAPER_HEADLINE_SPEEDUP",
+    "PAPER_PROGRAMS",
+    "PAPER_SIZES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_CUDA",
+    "PAPER_TABLE2_SEQUENTIAL",
+    "PROGRAMS",
+    "Figure1Result",
+    "ProgramRun",
+    "ProgramSpec",
+    "ShapeCheck",
+    "Table1Result",
+    "Table2Result",
+    "ascii_chart",
+    "check_large_n_ordering",
+    "default_sizes",
+    "find_crossover",
+    "headline_speedup",
+    "k_growth_ratio",
+    "machine_info",
+    "paper_speedup",
+    "run_figure1",
+    "run_program",
+    "run_table1",
+    "run_table2",
+    "shape_report",
+    "table1_rows",
+    "table2_rows",
+    "write_results_json",
+    "write_table1_csv",
+    "write_table2_csv",
+]

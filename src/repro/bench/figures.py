@@ -1,0 +1,136 @@
+"""Regeneration of the paper's Figure 1 (run times by program and n).
+
+Figure 1 plots the four programs' run times against the sample size on a
+log-scale horizontal axis.  The harness reuses the Table I sweep and
+renders the same series as (a) machine-readable rows and (b) an ASCII
+log–log chart, so the figure can be regenerated and eyeballed without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.paper_data import PAPER_PROGRAMS
+from repro.bench.tables import Table1Result, run_table1
+
+__all__ = ["Figure1Result", "run_figure1", "ascii_chart"]
+
+_MARKERS = {"racine-hayfield": "R", "multicore-r": "M", "sequential-c": "C", "cuda-gpu": "G",
+            "rule-of-thumb": "T"}
+
+
+@dataclass
+class Figure1Result:
+    """Figure 1 series: per-program run-time curves over n."""
+
+    table: Table1Result
+
+    def _series_from(
+        self, rows: dict[int, dict[str, float]]
+    ) -> dict[str, list[tuple[int, float]]]:
+        out: dict[str, list[tuple[int, float]]] = {}
+        for prog in self.table.programs:
+            pts = [
+                (n, rows[n][prog])
+                for n in self.table.sizes
+                if prog in rows.get(n, {})
+            ]
+            if pts:
+                out[prog] = pts
+        return out
+
+    @property
+    def series(self) -> dict[str, list[tuple[int, float]]]:
+        """Paper-machine (modeled) curves — the Figure 1 comparable."""
+        return self._series_from(self.table.modeled or self.table.measured)
+
+    @property
+    def measured_series(self) -> dict[str, list[tuple[int, float]]]:
+        """Wall-clock curves measured on this machine."""
+        return self._series_from(self.table.measured)
+
+    def to_text(self, *, width: int = 72, height: int = 20) -> str:
+        """Series listing plus ASCII log–log renderings of both sweeps."""
+        lines = ["FIG. 1.  RUN TIMES BY PROGRAM AND SAMPLE SIZE", ""]
+        lines.append("(a) modeled on the paper's machine:")
+        for prog, pts in self.series.items():
+            marker = _MARKERS.get(prog, "?")
+            listing = ", ".join(f"({n}, {t:.3f}s)" for n, t in pts)
+            lines.append(f"  [{marker}] {prog}: {listing}")
+        lines.append("")
+        lines.append(ascii_chart(self.series, width=width, height=height))
+        lines.append("")
+        lines.append("(b) measured on this machine:")
+        for prog, pts in self.measured_series.items():
+            marker = _MARKERS.get(prog, "?")
+            listing = ", ".join(f"({n}, {t:.3f}s)" for n, t in pts)
+            lines.append(f"  [{marker}] {prog}: {listing}")
+        lines.append("")
+        lines.append(ascii_chart(self.measured_series, width=width, height=height))
+        return "\n".join(lines)
+
+
+def run_figure1(
+    *,
+    sizes: Sequence[int] | None = None,
+    programs: Sequence[str] = PAPER_PROGRAMS,
+    k: int = 50,
+    repetitions: int = 1,
+    seed: int = 0,
+) -> Figure1Result:
+    """Run the Figure 1 sweep (same data as Table I)."""
+    return Figure1Result(
+        table=run_table1(
+            sizes=sizes, programs=programs, k=k, repetitions=repetitions, seed=seed
+        )
+    )
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[int, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render run-time-vs-n curves on log–log axes in plain text.
+
+    Each program is drawn with its single-letter marker; collisions keep
+    the first-drawn marker (draw order = dict order).
+    """
+    points: list[tuple[float, float, str]] = []
+    for prog, pts in series.items():
+        marker = _MARKERS.get(prog, "?")
+        for n, t in pts:
+            if n > 0 and t > 0:
+                points.append((math.log10(n), math.log10(t), marker))
+    if not points:
+        return "(no positive data to plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y_hi - y) / y_span * (height - 1)))
+        if canvas[row][col] == " ":
+            canvas[row][col] = marker
+
+    lines = []
+    for i, row in enumerate(canvas):
+        y_val = y_hi - i * y_span / (height - 1) if height > 1 else y_hi
+        label = f"{10 ** y_val:9.2f}s |" if i % 4 == 0 else f"{'':9} |"
+        lines.append(label + "".join(row))
+    lines.append(f"{'':9} +" + "-" * width)
+    lines.append(
+        f"{'':11}n = {10 ** x_lo:,.0f}"
+        + " " * max(1, width - 30)
+        + f"n = {10 ** x_hi:,.0f}  (log-log)"
+    )
+    return "\n".join(lines)

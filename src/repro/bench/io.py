@@ -1,0 +1,117 @@
+"""Persistence for bench results: CSV and JSON writers.
+
+The paper reports its sweeps as static tables; downstream users want the
+raw rows.  These writers serialise the Table I / Table II structures and
+the shape report so a bench run leaves machine-readable artifacts next
+to the printed output (``python -m repro table1 --output results/``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bench.tables import Table1Result, Table2Result
+
+__all__ = [
+    "table1_rows",
+    "table2_rows",
+    "write_table1_csv",
+    "write_table2_csv",
+    "write_results_json",
+]
+
+
+def table1_rows(table: Table1Result) -> list[dict[str, Any]]:
+    """Flatten a Table I result to one row per (n, program)."""
+    rows = []
+    for n in table.sizes:
+        for prog in table.programs:
+            row: dict[str, Any] = {
+                "n": n,
+                "program": prog,
+                "k": table.k,
+                "measured_seconds": table.measured.get(n, {}).get(prog),
+                "modeled_paper_machine_seconds": table.modeled.get(n, {}).get(prog),
+            }
+            run = table.runs.get((n, prog))
+            if run is not None:
+                row["selected_bandwidth"] = run.result.bandwidth
+                row["cv_score"] = run.result.score
+            rows.append(row)
+    return rows
+
+
+def table2_rows(table: Table2Result) -> list[dict[str, Any]]:
+    """Flatten a Table II result to one row per (k, n) with both panels."""
+    rows = []
+    for kk in table.bandwidth_counts:
+        for n in table.sizes:
+            rows.append(
+                {
+                    "bandwidths": kk,
+                    "n": n,
+                    "sequential_seconds": table.sequential.get(kk, {}).get(n),
+                    "cuda_simulated_seconds": table.cuda.get(kk, {}).get(n),
+                }
+            )
+    return rows
+
+
+def _write_csv(path: Path, rows: list[dict[str, Any]]) -> Path:
+    if not rows:
+        raise ValueError("no rows to write")
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_table1_csv(table: Table1Result, path: str | Path) -> Path:
+    """Write the Table I sweep as CSV; returns the path written."""
+    return _write_csv(Path(path), table1_rows(table))
+
+
+def write_table2_csv(table: Table2Result, path: str | Path) -> Path:
+    """Write the Table II sweep as CSV; returns the path written."""
+    return _write_csv(Path(path), table2_rows(table))
+
+
+def write_results_json(
+    path: str | Path,
+    *,
+    table1: Table1Result | None = None,
+    table2: Table2Result | None = None,
+    shape_report: str | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Bundle any combination of bench artifacts into one JSON file.
+
+    Machine metadata (:func:`repro.bench.sysinfo.machine_info`) is
+    embedded automatically so every results file states where its
+    measured numbers came from.
+    """
+    from repro.bench.sysinfo import machine_info
+
+    payload: dict[str, Any] = {
+        "metadata": {**machine_info(), **(metadata or {})}
+    }
+    if table1 is not None:
+        payload["table1"] = table1_rows(table1)
+    if table2 is not None:
+        payload["table2"] = table2_rows(table2)
+    if shape_report is not None:
+        payload["shape_report"] = shape_report
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, default=float))
+    return out

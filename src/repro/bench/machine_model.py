@@ -1,0 +1,130 @@
+"""Calibrated run-time models of the paper's four programs on the
+paper's machine (16× 2.53 GHz Xeon + Tesla S1070).
+
+Our wall-clock numbers are measured on *this* machine (numpy standing in
+for compiled C, scipy for R's optimiser), so they cannot land on the
+paper's absolute seconds.  To compare all four programs on equal footing
+at paper scale, this module models each program on the paper's hardware,
+the same way :mod:`repro.cuda_port.timing_model` models the CUDA program
+on the Tesla:
+
+* **sequential-c** — operation count of the sorted fast-grid algorithm
+  (per-observation quicksort + sweep) at a calibrated per-op cost of a
+  single 2.53 GHz Xeon core (~23 cycles/op: cache-unfriendly pointer
+  chasing over an n-element row per observation).  Calibrated to Table II
+  panel A.
+* **racine-hayfield** — E ≈ 40 objective evaluations (multi-started
+  simplex) × an O(n²) dense CV evaluation at an R-interpreter per-pair
+  cost, plus R session overhead.  Calibrated to Table I.
+* **multicore-r** — the same evaluations fanned over 16 cores with the
+  paper's observed parallel efficiency (the program "appears to be less
+  efficient in its computations but makes up for that inefficiency with
+  its use of 16 cores": measured ratio 0.53 of the np time, not 1/16),
+  plus the ~1.4 s pool/session floor visible at small n in Table I.
+* **cuda-gpu** — delegates to
+  :func:`repro.cuda_port.timing_model.estimate_program_runtime`.
+
+These are *models of published numbers*, used (a) to regenerate
+Figure 1 / Table I at paper scale without the paper's hardware and
+(b) to sanity-check that our complexity accounting explains the paper's
+measurements.  The measured-on-this-machine sweep is always reported
+alongside; EXPERIMENTS.md keeps the two clearly separated.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "model_sequential_c",
+    "model_racine_hayfield",
+    "model_multicore_r",
+    "model_cuda_gpu",
+    "model_program",
+    "MODELED_PROGRAMS",
+]
+
+#: Seconds per scalar op for the sequential C fast-grid program
+#: (≈ 23 cycles at 2.53 GHz), calibrated to Table II panel A.
+_SEQ_C_SECONDS_PER_OP = 9.25e-9
+
+#: Fixed process cost of the C programs (binary start, data generation —
+#: included in the paper's `time`-based measurements).
+_SEQ_C_OVERHEAD = 0.05
+
+#: Objective evaluations used by the np-style optimiser (multi-started
+#: Nelder–Mead; npregbw's default regime).
+_NP_EVALUATIONS = 40.0
+
+#: Seconds per (pair, evaluation) for the R np objective, calibrated to
+#: Table I at n = 20,000.
+_R_SECONDS_PER_PAIR = 1.45e-8
+
+#: R session / interpreter startup floor.
+_R_OVERHEAD = 0.4
+
+#: Multicore-R: measured ratio to the np program at large n (Table I:
+#: 124.7 / 232.5) — 16 cores at ~12 % parallel efficiency.
+_MULTICORE_RATIO = 0.53
+
+#: Pool start-up floor (Table I: ~1.4 s at n <= 1,000).
+_MULTICORE_OVERHEAD = 1.4
+
+
+def _check(n: int, k: int) -> None:
+    if n < 2 or k < 1:
+        raise ValidationError(f"need n >= 2, k >= 1; got n={n}, k={k}")
+
+
+def model_sequential_c(n: int, k: int = 50) -> float:
+    """Modelled paper-machine time of program 3 (sequential fast grid)."""
+    _check(n, k)
+    log_n = math.log2(max(n, 2))
+    ops = n * (1.39 * n * log_n + 2.0 * n) + 10.0 * n * k
+    return _SEQ_C_OVERHEAD + _SEQ_C_SECONDS_PER_OP * ops
+
+
+def model_racine_hayfield(n: int, k: int = 50) -> float:
+    """Modelled paper-machine time of program 1 (R np optimiser).
+
+    k does not enter: the numerical optimiser evaluates single
+    bandwidths, not grids.
+    """
+    _check(n, k)
+    return _R_OVERHEAD + _NP_EVALUATIONS * _R_SECONDS_PER_PAIR * float(n) * float(n)
+
+
+def model_multicore_r(n: int, k: int = 50) -> float:
+    """Modelled paper-machine time of program 2 (multicore R)."""
+    _check(n, k)
+    return _MULTICORE_OVERHEAD + _MULTICORE_RATIO * (
+        model_racine_hayfield(n, k) - _R_OVERHEAD
+    )
+
+
+def model_cuda_gpu(n: int, k: int = 50) -> float:
+    """Modelled Tesla-S1070 time of program 4 (the CUDA program)."""
+    _check(n, k)
+    from repro.cuda_port import estimate_program_runtime
+
+    return estimate_program_runtime(n, k).total_seconds
+
+
+MODELED_PROGRAMS = {
+    "racine-hayfield": model_racine_hayfield,
+    "multicore-r": model_multicore_r,
+    "sequential-c": model_sequential_c,
+    "cuda-gpu": model_cuda_gpu,
+}
+
+
+def model_program(name: str, n: int, k: int = 50) -> float:
+    """Modelled paper-machine run time for any of the four programs."""
+    try:
+        fn = MODELED_PROGRAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODELED_PROGRAMS))
+        raise ValidationError(f"no machine model for {name!r}; known: {known}") from None
+    return fn(n, k)

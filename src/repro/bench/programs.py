@@ -1,0 +1,185 @@
+"""The paper's four evaluation programs as uniform runnable units.
+
+Each :class:`ProgramSpec` builds a selector configured the way §IV-C
+describes the corresponding program, so the tables/figures harness can
+treat them interchangeably.  The mapping (see DESIGN.md §2 for why each
+substitution preserves the measured behaviour):
+
+1. **racine-hayfield** — R ``np``'s ``npregbw``: derivative-free numerical
+   minimisation of the same CV objective, multi-started because the
+   objective is not concave.
+2. **multicore-r** — the author's parallel R program: the same numerical
+   optimisation with the O(n²) objective split across worker processes.
+3. **sequential-c** — the sorted fast-grid search, single core (numpy
+   standing in for compiled C).
+4. **cuda-gpu** — the CUDA program on the GPU simulator; wall time is the
+   host's, and the result also carries the modelled Tesla-S1070 time.
+
+``rule-of-thumb`` is included as the zero-cost baseline the paper's
+introduction says practitioners actually use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.core.result import SelectionResult
+from repro.core.selectors import (
+    GridSearchSelector,
+    NumericalOptimizationSelector,
+    RuleOfThumbSelector,
+)
+from repro.parallel import available_workers
+
+__all__ = ["ProgramSpec", "PROGRAMS", "run_program", "ProgramRun"]
+
+
+@dataclass(frozen=True)
+class ProgramRun:
+    """One timed program execution."""
+
+    program: str
+    n: int
+    k: int
+    seconds: float
+    result: SelectionResult
+    simulated_seconds: float | None = None
+
+    @property
+    def reported_seconds(self) -> float:
+        """The Table-I-style number: modelled GPU time when available
+        (program 4's run time was measured on the Tesla, which the
+        simulator models), wall time otherwise."""
+        return self.simulated_seconds if self.simulated_seconds is not None else self.seconds
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A named, parameterised bandwidth-selection program."""
+
+    name: str
+    description: str
+    build: Callable[[int, dict[str, Any]], Any]
+    uses_grid: bool = True
+
+
+def _build_racine_hayfield(k: int, opts: dict[str, Any]):
+    return NumericalOptimizationSelector(
+        opts.get("kernel", "epanechnikov"),
+        method=opts.get("opt_method", "nelder-mead"),
+        n_restarts=opts.get("n_restarts", 3),
+        seed=opts.get("seed", 0),
+        maxiter=opts.get("maxiter", 100),
+    )
+
+
+def _build_multicore_r(k: int, opts: dict[str, Any]):
+    return NumericalOptimizationSelector(
+        opts.get("kernel", "epanechnikov"),
+        method=opts.get("opt_method", "nelder-mead"),
+        n_restarts=opts.get("n_restarts", 3),
+        seed=opts.get("seed", 0),
+        maxiter=opts.get("maxiter", 100),
+        workers=opts.get("workers") or available_workers(),
+    )
+
+
+def _build_sequential_c(k: int, opts: dict[str, Any]):
+    return GridSearchSelector(
+        opts.get("kernel", "epanechnikov"),
+        n_bandwidths=k,
+        backend="numpy",
+    )
+
+
+def _build_cuda_gpu(k: int, opts: dict[str, Any]):
+    return GridSearchSelector(
+        opts.get("kernel", "epanechnikov"),
+        n_bandwidths=k,
+        backend="gpusim",
+        mode=opts.get("mode", "fast"),
+        device=opts.get("device"),
+    )
+
+
+def _build_rule_of_thumb(k: int, opts: dict[str, Any]):
+    return RuleOfThumbSelector(opts.get("kernel", "epanechnikov"))
+
+
+PROGRAMS: dict[str, ProgramSpec] = {
+    "racine-hayfield": ProgramSpec(
+        name="racine-hayfield",
+        description="R np-style numerical optimisation of CV_lc (program 1)",
+        build=_build_racine_hayfield,
+        uses_grid=False,
+    ),
+    "multicore-r": ProgramSpec(
+        name="multicore-r",
+        description="multicore numerical optimisation (program 2)",
+        build=_build_multicore_r,
+        uses_grid=False,
+    ),
+    "sequential-c": ProgramSpec(
+        name="sequential-c",
+        description="sequential sorted fast-grid search (program 3)",
+        build=_build_sequential_c,
+    ),
+    "cuda-gpu": ProgramSpec(
+        name="cuda-gpu",
+        description="CUDA program on the GPU simulator (program 4)",
+        build=_build_cuda_gpu,
+    ),
+    "rule-of-thumb": ProgramSpec(
+        name="rule-of-thumb",
+        description="normal-reference rule of thumb (intro baseline)",
+        build=_build_rule_of_thumb,
+        uses_grid=False,
+    ),
+}
+
+
+def run_program(
+    name: str,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    k: int = 50,
+    **opts: Any,
+) -> ProgramRun:
+    """Run one program on (x, y) with a k-point grid; wall-clock timed.
+
+    Follows the paper's measurement conventions: data generation is *not*
+    part of the timed region for any program (§IV-C notes the O(n) data
+    generation inside the C timings "should have relatively little effect
+    on the results"; excluding it everywhere keeps the comparison clean).
+    """
+    try:
+        spec = PROGRAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROGRAMS))
+        raise ValidationError(f"unknown program {name!r}; known: {known}") from None
+    selector = spec.build(k, opts)
+    start = time.perf_counter()
+    result = selector.select(x, y)
+    seconds = time.perf_counter() - start
+
+    simulated = None
+    if name == "cuda-gpu":
+        from repro.cuda_port import estimate_program_runtime
+
+        simulated = estimate_program_runtime(
+            int(x.shape[0]), k, device=opts.get("device")
+        ).total_seconds
+    return ProgramRun(
+        program=name,
+        n=int(np.asarray(x).shape[0]),
+        k=k,
+        seconds=seconds,
+        result=result,
+        simulated_seconds=simulated,
+    )

@@ -1,0 +1,208 @@
+"""Shape analysis of bench results against the paper's claims.
+
+The reproduction standard is *shape*, not absolute seconds (§IV's Tesla
+and 16-core Xeon are not this machine): who wins, by roughly what factor,
+and where crossovers fall.  Claims are verified against the row group
+they belong to:
+
+* **measured** (this machine) — algorithm-level claims that do not
+  depend on 2008 hardware: the fast grid search beats numerical
+  optimisation and naive grids; the multicore objective overtakes the
+  serial one at large n; run time is near-flat in k.
+* **modeled** (paper machine) — hardware-relative claims: the full
+  Table I ordering including the GPU, the ~7× headline speedup, the
+  sequential/CUDA crossover near n ≈ 1,000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.bench.paper_data import PAPER_HEADLINE_SPEEDUP
+from repro.bench.tables import Table1Result, Table2Result
+
+__all__ = [
+    "ShapeCheck",
+    "check_large_n_ordering",
+    "find_crossover",
+    "headline_speedup",
+    "k_growth_ratio",
+    "shape_report",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verified (or failed) shape claim."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim}: {self.detail}"
+
+
+def _rows(table: Table1Result, which: str) -> Mapping[int, Mapping[str, float]]:
+    return table.measured if which == "measured" else table.modeled
+
+
+def check_large_n_ordering(
+    table: Table1Result,
+    *,
+    order: Sequence[str] = (
+        "racine-hayfield",
+        "multicore-r",
+        "sequential-c",
+        "cuda-gpu",
+    ),
+    which: str = "modeled",
+) -> ShapeCheck:
+    """At the largest measured n, programs must rank slowest → fastest."""
+    rows = _rows(table, which)
+    n = max(table.sizes)
+    avail = [p for p in order if p in rows.get(n, {})]
+    times = [rows[n][p] for p in avail]
+    passed = len(avail) >= 2 and all(a >= b for a, b in zip(times, times[1:]))
+    detail = ", ".join(f"{p}={t:.3f}s" for p, t in zip(avail, times)) + f" at n={n}"
+    return ShapeCheck(
+        claim=f"large-n ordering [{which}]: " + " > ".join(avail),
+        passed=passed,
+        detail=detail,
+    )
+
+
+def find_crossover(
+    table: Table1Result,
+    slow_small: str,
+    fast_large: str,
+    *,
+    which: str = "modeled",
+) -> tuple[int | None, ShapeCheck]:
+    """Smallest n where ``fast_large`` beats ``slow_small``.
+
+    The paper: "the run times for the sequential and parallelized
+    programs are roughly equal around n = 1,000, and for n values greater
+    than 1,000, the parallelized code is considerably faster."
+    """
+    rows = _rows(table, which)
+    crossover = None
+    for n in sorted(table.sizes):
+        row = rows.get(n, {})
+        if fast_large in row and slow_small in row and row[fast_large] < row[slow_small]:
+            crossover = n
+            break
+    passed = crossover is not None and crossover <= 10_000
+    detail = (
+        f"{fast_large} first beats {slow_small} at n={crossover}"
+        if crossover is not None
+        else f"{fast_large} never beats {slow_small} in this sweep"
+    )
+    return crossover, ShapeCheck(
+        claim=f"crossover [{which}]: {fast_large} overtakes {slow_small}",
+        passed=passed,
+        detail=detail,
+    )
+
+
+def headline_speedup(
+    table: Table1Result,
+    *,
+    slow: str = "racine-hayfield",
+    fast: str = "cuda-gpu",
+    which: str = "modeled",
+) -> tuple[float, ShapeCheck]:
+    """Speedup of the GPU program over the np analogue at the largest n.
+
+    Pass criterion: same direction and at least 2× — the paper's factor
+    (7.2× at n = 20,000) grows with n, and quick sweeps stop earlier.
+    """
+    rows = _rows(table, which)
+    n = max(table.sizes)
+    row = rows.get(n, {})
+    if slow not in row or fast not in row:
+        return float("nan"), ShapeCheck(
+            claim=f"headline speedup [{which}]",
+            passed=False,
+            detail=f"{slow} or {fast} missing from the sweep",
+        )
+    factor = row[slow] / max(row[fast], 1e-12)
+    passed = factor >= 2.0
+    return factor, ShapeCheck(
+        claim=(
+            f"headline speedup [{which}] at n={n} "
+            f"(paper: {PAPER_HEADLINE_SPEEDUP:.1f}x at 20,000)"
+        ),
+        passed=passed,
+        detail=f"{slow}/{fast} = {factor:.1f}x",
+    )
+
+
+def k_growth_ratio(
+    table2: Table2Result, *, panel: str = "sequential"
+) -> tuple[float, ShapeCheck]:
+    """Run-time growth from the smallest to the largest k at the largest n.
+
+    Paper: < 5 % growth from k=5 to k=2,000 at n = 20,000 for the
+    sequential program; "no appreciable slowdowns" for the CUDA program.
+    Pass criterion: < 2× growth (a naive grid would grow ~400× over that
+    k range).
+    """
+    rows = table2.sequential if panel == "sequential" else table2.cuda
+    n = max(table2.sizes)
+    ks = [kk for kk in table2.bandwidth_counts if rows.get(kk, {}).get(n) is not None]
+    if len(ks) < 2:
+        return float("nan"), ShapeCheck(
+            claim=f"{panel} near-flat in k", passed=False, detail="not enough cells"
+        )
+    lo, hi = rows[min(ks)][n], rows[max(ks)][n]
+    ratio = hi / max(lo, 1e-12)
+    passed = ratio < 2.0
+    return ratio, ShapeCheck(
+        claim=f"{panel} program near-flat in k (Table II)",
+        passed=passed,
+        detail=f"t(k={max(ks)}) / t(k={min(ks)}) = {ratio:.2f} at n={n}",
+    )
+
+
+def shape_report(table1: Table1Result, table2: Table2Result | None = None) -> str:
+    """Run every shape check applicable to the programs actually swept."""
+    checks: list[ShapeCheck] = []
+    present = set(table1.programs)
+
+    # Measured, hardware-independent claims.
+    if {"racine-hayfield", "sequential-c"} <= present:
+        checks.append(
+            check_large_n_ordering(
+                table1,
+                order=("racine-hayfield", "sequential-c"),
+                which="measured",
+            )
+        )
+    if {"racine-hayfield", "multicore-r"} <= present:
+        _, c = find_crossover(
+            table1, "racine-hayfield", "multicore-r", which="measured"
+        )
+        checks.append(c)
+
+    # Modeled, paper-machine claims.
+    if table1.modeled:
+        checks.append(check_large_n_ordering(table1, which="modeled"))
+        if {"sequential-c", "cuda-gpu"} <= present:
+            _, c = find_crossover(table1, "sequential-c", "cuda-gpu", which="modeled")
+            checks.append(c)
+        if {"racine-hayfield", "cuda-gpu"} <= present:
+            _, c = headline_speedup(table1, which="modeled")
+            checks.append(c)
+
+    if table2 is not None:
+        for panel in ("sequential", "cuda"):
+            _, c = k_growth_ratio(table2, panel=panel)
+            checks.append(c)
+
+    passed = sum(c.passed for c in checks)
+    lines = [f"SHAPE REPORT ({passed}/{len(checks)} claims reproduced)"]
+    lines += [f"  {c}" for c in checks]
+    return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro`` / ``repro-bench``.
+
+Subcommands regenerate the paper's artifacts and inspect the library:
+
+* ``table1`` — Table I (run times by program and sample size)
+* ``table2`` — Table II (run times by bandwidth count, both panels)
+* ``fig1``   — Figure 1 (same sweep, ASCII log–log chart)
+* ``shape``  — run Table I (+ optionally Table II) and verify the
+  paper's shape claims
+* ``select`` — one bandwidth selection on a chosen DGP
+* ``info``   — registered kernels, backends, devices, programs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_sizes(text: str | None) -> tuple[int, ...] | None:
+    if not text:
+        return None
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce Rohlfs & Zahran (IPPS 2017): optimal "
+        "bandwidth selection via fast grid search and a (simulated) GPU.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--sizes",
+        type=str,
+        default=None,
+        help="comma-separated sample sizes (default: quick subset; "
+        "set REPRO_BENCH_FULL=1 for the paper's full list)",
+    )
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument(
+        "--repetitions",
+        type=int,
+        default=1,
+        help="timed repetitions per cell (paper protocol: 5)",
+    )
+    common.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="directory to write CSV/JSON artifacts into",
+    )
+
+    t1 = sub.add_parser("table1", parents=[common], help="regenerate Table I")
+    t1.add_argument("--k", type=int, default=50, help="bandwidth-grid size")
+    t1.add_argument(
+        "--programs",
+        type=str,
+        default="racine-hayfield,multicore-r,sequential-c,cuda-gpu",
+    )
+
+    t2 = sub.add_parser("table2", parents=[common], help="regenerate Table II")
+    t2.add_argument(
+        "--bandwidths",
+        type=str,
+        default="5,10,50,100,500,1000,2000",
+        help="comma-separated bandwidth counts",
+    )
+
+    f1 = sub.add_parser("fig1", parents=[common], help="regenerate Figure 1")
+    f1.add_argument("--k", type=int, default=50)
+
+    shape = sub.add_parser(
+        "shape", parents=[common], help="verify the paper's shape claims"
+    )
+    shape.add_argument("--k", type=int, default=50)
+    shape.add_argument(
+        "--with-table2", action="store_true", help="include the Table II sweep"
+    )
+
+    sel = sub.add_parser("select", help="run one bandwidth selection")
+    sel.add_argument("--dgp", type=str, default="paper")
+    sel.add_argument(
+        "--data",
+        type=str,
+        default=None,
+        help="CSV file of (x, y) observations; overrides --dgp/--n",
+    )
+    sel.add_argument("--n", type=int, default=1000)
+    sel.add_argument("--k", type=int, default=50)
+    sel.add_argument("--kernel", type=str, default="epanechnikov")
+    sel.add_argument(
+        "--method", type=str, default="grid", choices=["grid", "numeric", "rot"]
+    )
+    sel.add_argument(
+        "--backend",
+        type=str,
+        default="numpy",
+        choices=["numpy", "python", "multicore", "gpusim"],
+    )
+    sel.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("info", help="list kernels, backends, devices, programs")
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench import run_table1, shape_report, write_results_json, write_table1_csv
+
+    table = run_table1(
+        sizes=_parse_sizes(args.sizes),
+        programs=tuple(args.programs.split(",")),
+        k=args.k,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    report = shape_report(table)
+    print(table.to_text())
+    print()
+    print(report)
+    if args.output:
+        from pathlib import Path
+
+        outdir = Path(args.output)
+        write_table1_csv(table, outdir / "table1.csv")
+        write_results_json(
+            outdir / "table1.json", table1=table, shape_report=report
+        )
+        print(f"\nartifacts written to {outdir}/")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.bench import run_table2, write_results_json, write_table2_csv
+
+    table = run_table2(
+        bandwidth_counts=_parse_sizes(args.bandwidths),
+        sizes=_parse_sizes(args.sizes),
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(table.to_text())
+    if args.output:
+        from pathlib import Path
+
+        outdir = Path(args.output)
+        write_table2_csv(table, outdir / "table2.csv")
+        write_results_json(outdir / "table2.json", table2=table)
+        print(f"\nartifacts written to {outdir}/")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.bench import run_figure1, write_results_json, write_table1_csv
+
+    fig = run_figure1(
+        sizes=_parse_sizes(args.sizes),
+        k=args.k,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(fig.to_text())
+    if args.output:
+        from pathlib import Path
+
+        outdir = Path(args.output)
+        write_table1_csv(fig.table, outdir / "figure1_series.csv")
+        write_results_json(outdir / "figure1.json", table1=fig.table)
+        print(f"\nartifacts written to {outdir}/")
+    return 0
+
+
+def _cmd_shape(args: argparse.Namespace) -> int:
+    from repro.bench import run_table1, run_table2, shape_report
+
+    table1 = run_table1(
+        sizes=_parse_sizes(args.sizes),
+        k=args.k,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    table2 = None
+    if args.with_table2:
+        table2 = run_table2(sizes=_parse_sizes(args.sizes), seed=args.seed)
+    report = shape_report(table1, table2)
+    print(report)
+    return 0 if "FAIL" not in report else 1
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.core import bandwidth_to_scale, select_bandwidth
+    from repro.data import generate, load_xy_csv
+
+    if args.data:
+        x, y = load_xy_csv(args.data)
+    else:
+        sample = generate(args.dgp, args.n, seed=args.seed)
+        x, y = sample.x, sample.y
+    method = {"grid": "grid", "numeric": "numeric", "rot": "rule-of-thumb"}[args.method]
+    kwargs = {}
+    if method == "grid":
+        kwargs.update(n_bandwidths=args.k, backend=args.backend)
+    result = select_bandwidth(x, y, method=method, kernel=args.kernel, **kwargs)
+    print(result.summary())
+    print(f"  scale factor  : {bandwidth_to_scale(result.bandwidth, x):.4f} "
+          "(h / spread*n^-1/5, np convention)")
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    import repro.cuda_port  # noqa: F401 - registers the gpusim backend
+    from repro.bench import PROGRAMS
+    from repro.core import list_backends
+    from repro.data import DGP_REGISTRY
+    from repro.gpusim import DEVICE_REGISTRY
+    from repro.kernels import fast_grid_kernels, list_kernels
+
+    print("kernels        :", ", ".join(list_kernels()))
+    print("fast-grid OK   :", ", ".join(fast_grid_kernels()))
+    print("backends       :", ", ".join(list_backends()))
+    print("devices        :", ", ".join(sorted(DEVICE_REGISTRY)))
+    print("programs       :", ", ".join(sorted(PROGRAMS)))
+    print("DGPs           :", ", ".join(sorted(DGP_REGISTRY)))
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig1": _cmd_fig1,
+    "shape": _cmd_shape,
+    "select": _cmd_select,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Grid-evaluation backends.
+
+A *backend* maps ``(x, y, bandwidth grid, kernel) -> CV scores`` and
+corresponds to one of the paper's execution substrates:
+
+============  =====================================================
+``python``    paper-literal per-observation sorted sweep (the
+              sequential reference; the CUDA thread body)
+``numpy``     vectorised fast grid search — the "Sequential C"
+              analogue (numpy plays the role of compiled C)
+``multicore`` row-parallel fast grid over a process pool
+``gpusim``    the paper's CUDA program executed on the GPU
+              simulator (registered lazily by
+              :mod:`repro.cuda_port` to avoid an import cycle)
+============  =====================================================
+
+Backends automatically fall back to the dense O(k·n²) evaluation for
+kernels without a polynomial form (Cosine, Gaussian), matching paper
+footnote 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import BackendError
+from repro.kernels import Kernel, get_kernel
+from repro.core.fastgrid import (
+    cv_scores_fastgrid,
+    cv_scores_fastgrid_python,
+    fastgrid_block_sums,
+)
+from repro.core.loocv import cv_scores_dense_grid
+from repro.parallel import WorkerPool
+
+__all__ = [
+    "GridBackend",
+    "BACKEND_REGISTRY",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]
+
+#: Signature of a grid backend.
+GridBackend = Callable[..., np.ndarray]
+
+BACKEND_REGISTRY: Dict[str, GridBackend] = {}
+
+
+def register_backend(name: str, backend: GridBackend, *, overwrite: bool = False) -> None:
+    """Register a grid backend under ``name``."""
+    if name in BACKEND_REGISTRY and not overwrite:
+        raise BackendError(f"backend {name!r} is already registered")
+    BACKEND_REGISTRY[name] = backend
+
+
+def get_backend(name: str) -> GridBackend:
+    """Look up a backend, importing the GPU simulator port on demand."""
+    if name == "gpusim" and name not in BACKEND_REGISTRY:
+        # The CUDA port registers itself at import time.
+        import repro.cuda_port  # noqa: F401
+
+    try:
+        return BACKEND_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(set(BACKEND_REGISTRY) | {"gpusim"}))
+        raise BackendError(f"unknown backend {name!r}; known: {known}") from None
+
+
+def list_backends() -> list[str]:
+    """Registered backend names (gpusim included once imported)."""
+    return sorted(BACKEND_REGISTRY)
+
+
+def _wants_dense(kernel: str | Kernel) -> bool:
+    return not get_kernel(kernel).supports_fast_grid
+
+
+def _python_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str | Kernel = "epanechnikov",
+    **_: object,
+) -> np.ndarray:
+    if _wants_dense(kernel):
+        return cv_scores_dense_grid(x, y, bandwidths, kernel)
+    return cv_scores_fastgrid_python(x, y, bandwidths, kernel)
+
+
+def _numpy_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str | Kernel = "epanechnikov",
+    *,
+    chunk_rows: int | None = None,
+    dtype: str = "float64",
+    **_: object,
+) -> np.ndarray:
+    if _wants_dense(kernel):
+        return cv_scores_dense_grid(x, y, bandwidths, kernel, chunk_rows=chunk_rows)
+    return cv_scores_fastgrid(
+        x, y, bandwidths, kernel, chunk_rows=chunk_rows, dtype=dtype
+    )
+
+
+def _multicore_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str | Kernel = "epanechnikov",
+    *,
+    workers: int | None = None,
+    pool: WorkerPool | None = None,
+    dtype: str = "float64",
+    **_: object,
+) -> np.ndarray:
+    if _wants_dense(kernel):
+        # Dense path parallelises poorly per-h; evaluate serially rather
+        # than silently multiplying the O(k·n²) cost by pool overhead.
+        return cv_scores_dense_grid(x, y, bandwidths, kernel)
+    kern = get_kernel(kernel)
+    grid = np.asarray(bandwidths, dtype=float)
+    n = int(np.asarray(x).shape[0])
+    shared = (np.asarray(x, dtype=float), np.asarray(y, dtype=float), grid, kern.name)
+
+    def block_args(start: int, stop: int) -> tuple:
+        return shared + (start, stop, dtype)
+
+    owned = pool is None
+    active = pool or WorkerPool(workers)
+    try:
+        sums = active.sum_over_blocks(
+            fastgrid_block_sums, n, block_args=block_args
+        )
+    finally:
+        if owned:
+            active.close()
+    return np.asarray(sums, dtype=float) / n
+
+
+register_backend("python", _python_backend)
+register_backend("numpy", _numpy_backend)
+register_backend("multicore", _multicore_backend)

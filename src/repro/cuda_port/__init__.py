@@ -1,0 +1,60 @@
+"""Port of the paper's CUDA optimal-bandwidth program to the GPU simulator.
+
+Importing this package registers the ``"gpusim"`` grid backend, so
+``select_bandwidth(x, y, backend="gpusim")`` runs the paper's program 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends import BACKEND_REGISTRY, register_backend
+from repro.cuda_port.host import CudaBandwidthProgram, CudaProgramResult
+from repro.cuda_port.main_kernel import bandwidth_main_kernel
+from repro.cuda_port.multi_gpu import (
+    MultiGpuBandwidthProgram,
+    estimate_multi_gpu_runtime,
+)
+from repro.cuda_port.tiled import (
+    TiledCudaBandwidthProgram,
+    default_tile_rows,
+    estimate_tiled_runtime,
+)
+from repro.cuda_port.timing_model import estimate_program_runtime
+
+__all__ = [
+    "CudaBandwidthProgram",
+    "CudaProgramResult",
+    "MultiGpuBandwidthProgram",
+    "TiledCudaBandwidthProgram",
+    "bandwidth_main_kernel",
+    "default_tile_rows",
+    "estimate_multi_gpu_runtime",
+    "estimate_program_runtime",
+    "estimate_tiled_runtime",
+]
+
+
+def _gpusim_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str = "epanechnikov",
+    *,
+    device: str | None = None,
+    mode: str = "auto",
+    threads_per_block: int | None = None,
+    **_: object,
+) -> np.ndarray:
+    """Grid backend running the CUDA program on the simulator."""
+    program = CudaBandwidthProgram(
+        device=device,
+        kernel=kernel,
+        mode=mode,
+        threads_per_block=threads_per_block,
+    )
+    return program.run(x, y, bandwidths).scores
+
+
+if "gpusim" not in BACKEND_REGISTRY:
+    register_backend("gpusim", _gpusim_backend)

@@ -1,0 +1,292 @@
+"""Host driver for the CUDA bandwidth program (the paper's program 4).
+
+:class:`CudaBandwidthProgram` performs, in order, exactly the host-side
+sequence of §IV-A/B:
+
+1. validate inputs, cast to float32 (single precision per §IV-A);
+2. upload the bandwidth grid to **constant memory** (which enforces the
+   8 KB / 2,048-value cap);
+3. ``cudaMalloc`` every intermediate: x, y, the two n×n matrices, the
+   2·P n×k window-sum matrices, the k×n squared-residual matrix and the
+   k-vector of CV scores — the capacity check here is what stops the
+   program above n = 20,000 on the 4 GB Tesla;
+4. launch the main kernel over ⌈n/T⌉ blocks of T = 512 threads;
+5. launch k sum reductions (one per bandwidth) and one argmin reduction;
+6. copy the optimum back and free the device memory.
+
+Two execution modes share this driver:
+
+* ``"functional"`` — every device kernel actually runs on the simulator,
+  thread by thread.  Exact but interpreter-bound: O(n²·log n) python
+  work, intended for n up to a few hundred (tests, demos).
+* ``"fast"`` — the *device executor* shortcut: allocation, constant
+  memory, limits and the argmin reduction behave identically, but the
+  main kernel's arithmetic is carried out by the vectorised float32
+  equivalent of the same summations, and the big intermediates are
+  account-only reservations.  Numerically agrees with functional mode to
+  float32 round-off; used for large n.
+* ``"auto"`` (default) — functional up to :attr:`functional_limit`
+  observations, fast beyond.
+
+Either way the result carries the analytically modelled GPU run time
+(:mod:`repro.cuda_port.timing_model`) next to the measured wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.kernels import Kernel
+from repro.core.fastgrid import fastgrid_block_sums, require_fast_grid_kernel
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.kernel import LaunchStats, launch_kernel
+from repro.gpusim.memory import ConstantMemory, GlobalMemory
+from repro.gpusim.reduction import device_argmin, device_sum
+from repro.gpusim.timing import SimulatedRuntime
+from repro.cuda_port.main_kernel import bandwidth_main_kernel
+from repro.cuda_port.timing_model import estimate_program_runtime
+from repro.utils.chunking import chunk_slices, suggest_chunk_rows
+from repro.utils.validation import check_paired_samples, ensure_bandwidths
+
+__all__ = ["CudaBandwidthProgram", "CudaProgramResult"]
+
+
+@dataclass(frozen=True)
+class CudaProgramResult:
+    """Output of one program run."""
+
+    bandwidth: float
+    score: float
+    scores: np.ndarray
+    mode: str
+    device: str
+    wall_seconds: float
+    simulated: SimulatedRuntime
+    memory_report: dict[str, Any]
+    launch_stats: tuple[LaunchStats, ...] = ()
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Modelled GPU run time (the Table I/II quantity)."""
+        return self.simulated.total_seconds
+
+
+class CudaBandwidthProgram:
+    """The paper's CUDA optimal-bandwidth program on the GPU simulator."""
+
+    def __init__(
+        self,
+        *,
+        device: str | DeviceSpec | None = None,
+        kernel: str | Kernel = "epanechnikov",
+        threads_per_block: int | None = None,
+        mode: str = "auto",
+        functional_limit: int = 256,
+    ):
+        self.device = get_device(device)
+        self.kernel = require_fast_grid_kernel(kernel)
+        self.threads_per_block = threads_per_block or self.device.max_threads_per_block
+        if self.threads_per_block & (self.threads_per_block - 1):
+            raise ValidationError(
+                f"threads_per_block must be a power of two, got "
+                f"{self.threads_per_block}"
+            )
+        if mode not in ("auto", "functional", "fast"):
+            raise ValidationError(f"mode must be auto/functional/fast, got {mode!r}")
+        self.mode = mode
+        self.functional_limit = int(functional_limit)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self, x: np.ndarray, y: np.ndarray, bandwidths: np.ndarray
+    ) -> CudaProgramResult:
+        """Execute the program; returns scores, optimum, and timings."""
+        x64, y64 = check_paired_samples(x, y)
+        grid = ensure_bandwidths(bandwidths)
+        n = x64.shape[0]
+        k = grid.shape[0]
+        mode = self.mode
+        if mode == "auto":
+            mode = "functional" if n <= self.functional_limit else "fast"
+
+        x32 = x64.astype(np.float32)
+        y32 = y64.astype(np.float32)
+        bw32 = grid.astype(np.float32)
+        powers = tuple(t.power for t in self.kernel.poly_terms)
+        coeffs = tuple(t.coefficient for t in self.kernel.poly_terms)
+        P = len(powers)
+
+        start = time.perf_counter()
+        constant = ConstantMemory(self.device)
+        constant.store(bw32)  # enforces the 2,048-bandwidth cap
+
+        gmem = GlobalMemory(self.device)
+        stats: list[LaunchStats] = []
+        try:
+            d_x = gmem.malloc(n, np.float32, label="x")
+            d_y = gmem.malloc(n, np.float32, label="y")
+            d_scores = gmem.malloc(k, np.float32, label="cv-scores")
+            d_x.copy_from_host(x32)
+            d_y.copy_from_host(y32)
+
+            if mode == "functional":
+                scores32 = self._run_functional(
+                    gmem, constant, d_x, d_y, d_scores, n, k, P, powers, coeffs, stats
+                )
+            else:
+                scores32 = self._run_fast(
+                    gmem, constant, x32, y32, d_scores, n, k, P, stats
+                )
+
+            # Final argmin reduction (always executed on the simulator —
+            # k <= 2,048, so it is cheap even at full size).
+            _, best_h, argmin_stats = device_argmin(
+                scores32,
+                constant.read(),
+                device=self.device,
+                block_dim=self.threads_per_block,
+            )
+            stats.append(argmin_stats)
+            memory_report = gmem.report()
+        finally:
+            gmem.free_all()
+
+        wall = time.perf_counter() - start
+        scores = scores32.astype(np.float64) / n  # CV_lc normalisation
+        best_j = int(np.argmin(scores))
+        # float32 argmin from the device should agree with the host argmin;
+        # prefer the exact grid value for downstream float64 use.
+        best_bandwidth = float(grid[best_j])
+        if not np.isclose(best_bandwidth, float(best_h), rtol=1e-5, atol=1e-7):
+            # Tolerate exact ties in float32; otherwise surface the bug.
+            tied = np.isclose(scores32, scores32.min(), rtol=0.0, atol=0.0)
+            if not tied.sum() > 1:
+                raise ValidationError(
+                    f"device argmin {best_h} disagrees with host argmin "
+                    f"{best_bandwidth}"
+                )
+        simulated = estimate_program_runtime(
+            n,
+            k,
+            device=self.device,
+            poly_power_count=P,
+            threads_per_block=self.threads_per_block,
+        )
+        return CudaProgramResult(
+            bandwidth=best_bandwidth,
+            score=float(scores[best_j]),
+            scores=scores,
+            mode=mode,
+            device=self.device.name,
+            wall_seconds=wall,
+            simulated=simulated,
+            memory_report=memory_report,
+            launch_stats=tuple(stats),
+        )
+
+    # -- execution modes -------------------------------------------------------
+
+    def _alloc_intermediates(
+        self, gmem: GlobalMemory, n: int, k: int, P: int, *, materialize: bool
+    ):
+        """§IV-A allocation sequence for the big intermediates."""
+        alloc = gmem.malloc if materialize else gmem.reserve
+        absdiff = alloc((n, n), np.float32, label="absdiff-matrix")
+        ymat = alloc((n, n), np.float32, label="y-matrix")
+        sums_d = tuple(
+            alloc((n, k), np.float32, label=f"sum-d^p[{t}]") for t in range(P)
+        )
+        sums_yd = tuple(
+            alloc((n, k), np.float32, label=f"sum-yd^p[{t}]") for t in range(P)
+        )
+        sqresid = alloc((k, n), np.float32, label="sq-residuals")
+        return absdiff, ymat, sums_d, sums_yd, sqresid
+
+    def _run_functional(
+        self,
+        gmem: GlobalMemory,
+        constant: ConstantMemory,
+        d_x,
+        d_y,
+        d_scores,
+        n: int,
+        k: int,
+        P: int,
+        powers: tuple[int, ...],
+        coeffs: tuple[float, ...],
+        stats: list[LaunchStats],
+    ) -> np.ndarray:
+        absdiff, ymat, sums_d, sums_yd, sqresid = self._alloc_intermediates(
+            gmem, n, k, P, materialize=True
+        )
+        T = self.threads_per_block
+        grid_dim = -(-n // T)
+        main_stats = launch_kernel(
+            bandwidth_main_kernel,
+            grid_dim=grid_dim,
+            block_dim=T,
+            args=(
+                d_x.array,
+                d_y.array,
+                absdiff.array,
+                ymat.array,
+                tuple(b.array for b in sums_d),
+                tuple(b.array for b in sums_yd),
+                sqresid.array,
+                constant.read(),
+                powers,
+                coeffs,
+                self.kernel.support_radius,
+            ),
+            device=self.device,
+        )
+        stats.append(main_stats)
+
+        # k sum reductions, one per bandwidth (paper §IV-B).
+        for jb in range(k):
+            total, red_stats = device_sum(
+                sqresid.array[jb], device=self.device, block_dim=T
+            )
+            d_scores.array[jb] = np.float32(total)
+            stats.append(red_stats)
+        return d_scores.copy_to_host()
+
+    def _run_fast(
+        self,
+        gmem: GlobalMemory,
+        constant: ConstantMemory,
+        x32: np.ndarray,
+        y32: np.ndarray,
+        d_scores,
+        n: int,
+        k: int,
+        P: int,
+        stats: list[LaunchStats],
+    ) -> np.ndarray:
+        # Same allocations, account-only: capacity/OOM behaviour identical.
+        self._alloc_intermediates(gmem, n, k, P, materialize=False)
+        grid64 = constant.read().astype(np.float64)
+        # Inputs are quantised to float32 first (matching the device
+        # arithmetic) and only then widened for the vectorised summations.
+        x_as64 = x32.astype(np.float64)
+        y_as64 = y32.astype(np.float64)
+        sums = np.zeros(k, dtype=np.float64)
+        rows = suggest_chunk_rows(n, itemsize=4, working_arrays=4 + P)
+        for sl in chunk_slices(n, rows):
+            sums += fastgrid_block_sums(
+                x_as64,
+                y_as64,
+                grid64,
+                self.kernel.name,
+                sl.start,
+                sl.stop,
+                dtype="float32",
+            )
+        d_scores.copy_from_host(sums.astype(np.float32))
+        return d_scores.copy_to_host()

@@ -1,0 +1,52 @@
+"""Synthetic data generators.
+
+The paper evaluates on randomly generated data — ``X ~ U(0, 1)`` with
+``Y = 0.5·X + 10·X² + u``, ``u ~ U(0, 0.5)`` — and we reproduce that DGP
+exactly (:func:`paper_dgp`).  The extra generators give the examples and
+tests regression surfaces with qualitatively different difficulty (sharp
+local structure, discontinuities, heteroskedasticity) and densities for the
+KDE extension.
+"""
+
+from repro.data.generators import (
+    DGP_REGISTRY,
+    RegressionSample,
+    blocks_dgp,
+    doppler_dgp,
+    generate,
+    heteroskedastic_dgp,
+    linear_dgp,
+    paper_dgp,
+    sine_dgp,
+)
+from repro.data.io import load_xy_csv, save_xy_csv
+from repro.data.densities import (
+    DENSITY_REGISTRY,
+    DensitySample,
+    bimodal_normal_sample,
+    claw_sample,
+    sample_density,
+    skewed_sample,
+    uniform_sample,
+)
+
+__all__ = [
+    "DGP_REGISTRY",
+    "DENSITY_REGISTRY",
+    "DensitySample",
+    "RegressionSample",
+    "bimodal_normal_sample",
+    "blocks_dgp",
+    "claw_sample",
+    "doppler_dgp",
+    "generate",
+    "heteroskedastic_dgp",
+    "linear_dgp",
+    "load_xy_csv",
+    "paper_dgp",
+    "save_xy_csv",
+    "sample_density",
+    "sine_dgp",
+    "skewed_sample",
+    "uniform_sample",
+]

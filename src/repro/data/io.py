@@ -1,0 +1,92 @@
+"""Loading and saving regression samples as CSV.
+
+§IV: "While the functions may accommodate any pair of Y_i and X_i
+vectors, we use randomly generated data to test the performance" — this
+module is the "any pair of vectors" entry point: plain two-column CSV
+(header optional), round-trippable, used by the CLI's ``--data`` option.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataShapeError, ValidationError
+from repro.utils.validation import check_paired_samples
+
+__all__ = ["load_xy_csv", "save_xy_csv"]
+
+
+def load_xy_csv(
+    path: str | Path,
+    *,
+    x_column: str | int = 0,
+    y_column: str | int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load paired (x, y) observations from a CSV file.
+
+    Columns may be addressed by index or, when the file has a header
+    row, by name.  A header is auto-detected (first row that does not
+    parse as two floats).  Returns validated float64 arrays.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ValidationError(f"no such data file: {file_path}")
+    with file_path.open(newline="") as handle:
+        rows = [row for row in csv.reader(handle) if row and any(c.strip() for c in row)]
+    if not rows:
+        raise DataShapeError(f"{file_path} is empty")
+
+    header: list[str] | None = None
+    try:
+        [float(rows[0][i]) for i in range(len(rows[0]))]
+    except (ValueError, IndexError):
+        header = [c.strip() for c in rows[0]]
+        rows = rows[1:]
+    if not rows:
+        raise DataShapeError(f"{file_path} has a header but no data rows")
+
+    def resolve(col: str | int, default_idx: int) -> int:
+        if isinstance(col, int):
+            return col
+        if header is None:
+            raise ValidationError(
+                f"column {col!r} requested by name but {file_path} has no header"
+            )
+        try:
+            return header.index(col)
+        except ValueError:
+            raise ValidationError(
+                f"column {col!r} not in header {header}"
+            ) from None
+
+    xi = resolve(x_column, 0)
+    yi = resolve(y_column, 1)
+    try:
+        x = np.array([float(row[xi]) for row in rows])
+        y = np.array([float(row[yi]) for row in rows])
+    except (ValueError, IndexError) as exc:
+        raise DataShapeError(
+            f"{file_path}: could not parse columns {xi}/{yi} as floats ({exc})"
+        ) from exc
+    return check_paired_samples(x, y)
+
+
+def save_xy_csv(
+    path: str | Path,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    header: tuple[str, str] = ("x", "y"),
+) -> Path:
+    """Save paired observations to CSV (with header); returns the path."""
+    x, y = check_paired_samples(x, y)
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    with file_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(zip(x.tolist(), y.tolist()))
+    return file_path

@@ -1,0 +1,95 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The GPU-simulator errors mirror the
+CUDA error conditions that the paper's program can hit on real hardware
+(out of device memory, exceeding the constant-memory working set, invalid
+launch configurations).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "DataShapeError",
+    "BandwidthGridError",
+    "DegenerateDataError",
+    "SelectionError",
+    "BackendError",
+    "GpuSimError",
+    "DeviceMemoryError",
+    "ConstantMemoryError",
+    "SharedMemoryError",
+    "LaunchConfigurationError",
+    "DeviceStateError",
+    "KernelExecutionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad type, shape, or value)."""
+
+
+class DataShapeError(ValidationError):
+    """Input arrays have incompatible or unusable shapes."""
+
+
+class BandwidthGridError(ValidationError):
+    """A bandwidth grid is malformed (non-positive, unsorted, empty...)."""
+
+
+class DegenerateDataError(ReproError):
+    """The data admit no meaningful bandwidth choice.
+
+    Raised e.g. when every ``X_i`` is identical (zero domain) so no
+    compact-support kernel can ever have a non-empty leave-one-out window.
+    """
+
+
+class SelectionError(ReproError):
+    """Bandwidth selection failed to produce a usable optimum."""
+
+
+class BackendError(ReproError):
+    """A computation backend is unknown or unavailable."""
+
+
+class GpuSimError(ReproError):
+    """Base class for GPU-simulator errors (mirrors ``cudaError_t``)."""
+
+
+class DeviceMemoryError(GpuSimError, MemoryError):
+    """Global-memory allocation failed (``cudaErrorMemoryAllocation``).
+
+    The paper hits exactly this above n = 20,000: the two n-by-n float32
+    matrices no longer fit in the Tesla's 4 GB of device memory.
+    """
+
+
+class ConstantMemoryError(GpuSimError):
+    """Constant-memory working set exceeded.
+
+    The paper bounds the number of bandwidths at 2,048 because the typical
+    constant-memory *cache* working set is 8 KB (2,048 float32 values).
+    """
+
+
+class SharedMemoryError(GpuSimError):
+    """A block requested more shared memory than the SM provides."""
+
+
+class LaunchConfigurationError(GpuSimError):
+    """Invalid kernel launch configuration (``cudaErrorInvalidConfiguration``)."""
+
+
+class DeviceStateError(GpuSimError):
+    """Operation attempted on a freed buffer or reset device."""
+
+
+class KernelExecutionError(GpuSimError):
+    """A device kernel raised during simulated execution."""

@@ -1,0 +1,74 @@
+"""A CUDA-like GPU simulator.
+
+This package substitutes for the paper's NVIDIA Tesla S1070 (no physical
+GPU is available in this environment).  It reproduces the CUDA
+*programming and resource model* the paper's program is written against:
+
+* :mod:`~repro.gpusim.device` — device specs (SMs, warps, clocks, the
+  paper's Tesla profile and a modern profile);
+* :mod:`~repro.gpusim.memory` — capacity-enforced global memory (the
+  4 GB OOM wall at n > 20,000), the 8 KB constant-memory working set
+  (k <= 2,048 bandwidths), and per-block shared memory;
+* :mod:`~repro.gpusim.kernel` — SPMD kernel launches with
+  ``__syncthreads`` barriers (generator-based cooperative scheduling);
+* :mod:`~repro.gpusim.sort` — the iterative dual-array quicksort each
+  thread runs (paper §IV-B, after Finley);
+* :mod:`~repro.gpusim.reduction` — Harris-style shared-memory tree
+  reductions (sum and argmin);
+* :mod:`~repro.gpusim.timing` — the analytical roofline timing model
+  calibrated to the paper's hardware.
+"""
+
+from repro.gpusim.device import (
+    DEVICE_REGISTRY,
+    MODERN_GPU,
+    TESLA_S1070,
+    DeviceSpec,
+    get_device,
+    register_device,
+)
+from repro.gpusim.kernel import LaunchStats, ThreadContext, launch_kernel
+from repro.gpusim.memory import (
+    ConstantMemory,
+    DeviceBuffer,
+    GlobalMemory,
+    SharedMemory,
+)
+from repro.gpusim.occupancy import OccupancyReport, best_block_size, occupancy
+from repro.gpusim.reduction import (
+    argmin_reduction_kernel,
+    device_argmin,
+    device_sum,
+    sum_reduction_kernel,
+)
+from repro.gpusim.sort import MAX_LEVELS, iterative_quicksort, quicksort_ops_estimate
+from repro.gpusim.timing import PhaseTime, SimulatedRuntime, TimingModel
+
+__all__ = [
+    "DEVICE_REGISTRY",
+    "MAX_LEVELS",
+    "MODERN_GPU",
+    "TESLA_S1070",
+    "ConstantMemory",
+    "DeviceBuffer",
+    "DeviceSpec",
+    "GlobalMemory",
+    "LaunchStats",
+    "OccupancyReport",
+    "PhaseTime",
+    "SharedMemory",
+    "best_block_size",
+    "occupancy",
+    "SimulatedRuntime",
+    "ThreadContext",
+    "TimingModel",
+    "argmin_reduction_kernel",
+    "device_argmin",
+    "device_sum",
+    "get_device",
+    "iterative_quicksort",
+    "launch_kernel",
+    "quicksort_ops_estimate",
+    "register_device",
+    "sum_reduction_kernel",
+]

@@ -1,0 +1,156 @@
+"""Device models for the GPU simulator.
+
+The paper's test machine carried "two Tesla S10 GPUs, each with 240
+streaming cores and 4 GB of device-specific GPU memory" — i.e. one module
+of a Tesla S1070 (GT200, compute capability 1.3): 30 streaming
+multiprocessors × 8 scalar cores, 512-thread blocks, 16 KB shared memory
+per block, no device-side recursion and no device-side ``malloc``.  Those
+last two constraints are why the paper uses an *iterative* quicksort and
+pre-allocates every intermediate matrix from the host (§IV-A/B).
+
+:data:`TESLA_S1070` is the default device everywhere.  A modern profile
+(:data:`MODERN_GPU`) is included for the "later versions of this study
+will ... make use of more recent compute capability GPUs" direction —
+it lifts the recursion/malloc restrictions and grows memory, which moves
+the OOM wall far beyond n = 20,000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DeviceSpec",
+    "TESLA_S1070",
+    "MODERN_GPU",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "register_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated CUDA device."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    global_memory_bytes: int
+    memory_bandwidth_gbs: float
+    constant_cache_bytes: int = 8 * 1024
+    shared_memory_per_block_bytes: int = 16 * 1024
+    max_threads_per_block: int = 512
+    warp_size: int = 32
+    compute_capability: tuple[int, int] = (1, 3)
+    supports_recursion: bool = False
+    supports_device_malloc: bool = False
+    #: Fixed per-program overhead (driver init, context, PCIe transfers of
+    #: the small arrays) — the ~0.09 s floor of Table I's CUDA column.
+    launch_overhead_seconds: float = 0.09
+    #: Average simulated clock cycles per scalar device operation; > 1
+    #: because GT200-era scalar pipelines do not retire one useful op per
+    #: cycle per core once divergence and addressing are accounted for.
+    cycles_per_op: float = 4.0
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "sm_count",
+            "cores_per_sm",
+            "global_memory_bytes",
+            "constant_cache_bytes",
+            "shared_memory_per_block_bytes",
+            "max_threads_per_block",
+            "warp_size",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValidationError(f"DeviceSpec.{attr} must be positive")
+        if self.clock_ghz <= 0 or self.memory_bandwidth_gbs <= 0:
+            raise ValidationError("clock and bandwidth must be positive")
+        if self.max_threads_per_block % self.warp_size != 0:
+            raise ValidationError(
+                "max_threads_per_block must be a multiple of the warp size"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Scalar cores across all SMs (240 on the Tesla S1070 module)."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def ops_per_second(self) -> float:
+        """Aggregate scalar-op throughput under the cycles-per-op model."""
+        return self.total_cores * self.clock_ghz * 1e9 / self.cycles_per_op
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Global-memory streaming throughput."""
+        return self.memory_bandwidth_gbs * 1e9
+
+    def max_constant_floats(self, itemsize: int = 4) -> int:
+        """Values fitting the constant-memory cache working set.
+
+        8 KB / 4 B = 2,048 float32 — the paper's hard cap on grid size.
+        """
+        return self.constant_cache_bytes // itemsize
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """A copy with some fields replaced (for what-if experiments)."""
+        return replace(self, **kwargs)
+
+
+TESLA_S1070 = DeviceSpec(
+    name="tesla-s1070",
+    sm_count=30,
+    cores_per_sm=8,
+    clock_ghz=1.296,
+    global_memory_bytes=4 * 1024**3,
+    memory_bandwidth_gbs=102.0,
+)
+
+MODERN_GPU = DeviceSpec(
+    name="modern-gpu",
+    sm_count=80,
+    cores_per_sm=64,
+    clock_ghz=1.5,
+    global_memory_bytes=24 * 1024**3,
+    memory_bandwidth_gbs=700.0,
+    constant_cache_bytes=8 * 1024,
+    shared_memory_per_block_bytes=48 * 1024,
+    max_threads_per_block=1024,
+    compute_capability=(8, 6),
+    supports_recursion=True,
+    supports_device_malloc=True,
+    launch_overhead_seconds=0.02,
+    cycles_per_op=1.5,
+)
+
+DEVICE_REGISTRY: Dict[str, DeviceSpec] = {
+    TESLA_S1070.name: TESLA_S1070,
+    MODERN_GPU.name: MODERN_GPU,
+}
+
+
+def register_device(spec: DeviceSpec, *, overwrite: bool = False) -> DeviceSpec:
+    """Add a device model to the registry."""
+    if spec.name in DEVICE_REGISTRY and not overwrite:
+        raise ValidationError(f"device {spec.name!r} is already registered")
+    DEVICE_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_device(device: str | DeviceSpec | None = None) -> DeviceSpec:
+    """Resolve a device by name/instance; default is the paper's Tesla."""
+    if device is None:
+        return TESLA_S1070
+    if isinstance(device, DeviceSpec):
+        return device
+    try:
+        return DEVICE_REGISTRY[device]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_REGISTRY))
+        raise ValidationError(f"unknown device {device!r}; known: {known}") from None

@@ -1,0 +1,209 @@
+"""SPMD kernel execution for the GPU simulator.
+
+A *device kernel* is a Python callable ``fn(ctx, *args)`` executed once
+per thread, exactly the CUDA programming model:
+
+* ``ctx.thread_idx`` / ``ctx.block_idx`` / ``ctx.block_dim`` /
+  ``ctx.grid_dim`` mirror ``threadIdx.x`` etc.
+* ``ctx.global_id`` is ``blockIdx.x * blockDim.x + threadIdx.x``.
+* ``ctx.shared`` is the block's :class:`~repro.gpusim.memory.SharedMemory`.
+* ``__syncthreads()``: kernels that synchronise are written as
+  *generator functions* and ``yield`` at each barrier; the scheduler runs
+  every thread of a block up to its next ``yield`` before any thread
+  proceeds — a faithful cooperative simulation of the barrier (deadlock
+  detection included: a thread returning early while others still wait is
+  exactly the divergent-``__syncthreads`` bug class real CUDA leaves
+  undefined, and the simulator reports it instead).
+
+Blocks are independent (no inter-block sync primitive — true to CUDA),
+so the scheduler runs them one after another.
+
+Every launch validates its configuration against the device limits and
+returns a :class:`LaunchStats` with instrumented per-thread operation
+tallies, which the timing model can consume.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import (
+    KernelExecutionError,
+    LaunchConfigurationError,
+)
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.memory import SharedMemory
+
+__all__ = ["ThreadContext", "LaunchStats", "launch_kernel"]
+
+
+@dataclass
+class LaunchStats:
+    """Aggregate accounting for one kernel launch."""
+
+    kernel_name: str
+    grid_dim: int
+    block_dim: int
+    threads: int
+    ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    barriers: int = 0
+
+    def merge_thread(self, ops: int, bytes_read: int, bytes_written: int) -> None:
+        """Fold one thread's tallies into the launch totals."""
+        self.ops += ops
+        self.bytes_read += bytes_read
+        self.bytes_written += bytes_written
+
+
+class ThreadContext:
+    """Per-thread view of the execution configuration (CUDA built-ins)."""
+
+    __slots__ = (
+        "thread_idx",
+        "block_idx",
+        "block_dim",
+        "grid_dim",
+        "shared",
+        "_ops",
+        "_bytes_read",
+        "_bytes_written",
+    )
+
+    def __init__(
+        self,
+        thread_idx: int,
+        block_idx: int,
+        block_dim: int,
+        grid_dim: int,
+        shared: SharedMemory,
+    ):
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.shared = shared
+        self._ops = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    @property
+    def global_id(self) -> int:
+        """``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self.block_idx * self.block_dim + self.thread_idx
+
+    def tally(self, ops: int = 0, bytes_read: int = 0, bytes_written: int = 0) -> None:
+        """Record work done by this thread (feeds the timing model)."""
+        self._ops += ops
+        self._bytes_read += bytes_read
+        self._bytes_written += bytes_written
+
+
+def launch_kernel(
+    kernel_fn: Callable[..., Any],
+    *,
+    grid_dim: int,
+    block_dim: int,
+    args: tuple = (),
+    device: str | DeviceSpec | None = None,
+    shared_factory: Callable[[], SharedMemory] | None = None,
+) -> LaunchStats:
+    """Execute ``kernel_fn`` over ``grid_dim × block_dim`` threads.
+
+    ``kernel_fn`` may be a plain function (no synchronisation) or a
+    generator function whose ``yield`` statements are ``__syncthreads()``
+    barriers.
+
+    Raises
+    ------
+    LaunchConfigurationError
+        Bad grid/block dimensions (mirrors
+        ``cudaErrorInvalidConfiguration``).
+    KernelExecutionError
+        An exception escaped a device thread; the original is chained.
+    """
+    spec = get_device(device)
+    if grid_dim <= 0 or block_dim <= 0:
+        raise LaunchConfigurationError(
+            f"grid_dim and block_dim must be positive, got {grid_dim}x{block_dim}"
+        )
+    if block_dim > spec.max_threads_per_block:
+        raise LaunchConfigurationError(
+            f"block_dim {block_dim} exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+
+    stats = LaunchStats(
+        kernel_name=getattr(kernel_fn, "__name__", "<kernel>"),
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        threads=grid_dim * block_dim,
+    )
+    is_cooperative = inspect.isgeneratorfunction(kernel_fn)
+
+    for block_idx in range(grid_dim):
+        shared = shared_factory() if shared_factory is not None else SharedMemory(spec)
+        contexts = [
+            ThreadContext(t, block_idx, block_dim, grid_dim, shared)
+            for t in range(block_dim)
+        ]
+        if is_cooperative:
+            _run_cooperative_block(kernel_fn, contexts, args, stats)
+        else:
+            for ctx in contexts:
+                try:
+                    kernel_fn(ctx, *args)
+                except Exception as exc:  # noqa: BLE001 - re-raise typed
+                    raise KernelExecutionError(
+                        f"thread ({block_idx},{ctx.thread_idx}) of "
+                        f"{stats.kernel_name} failed: {exc}"
+                    ) from exc
+        for ctx in contexts:
+            stats.merge_thread(ctx._ops, ctx._bytes_read, ctx._bytes_written)
+    return stats
+
+
+def _run_cooperative_block(
+    kernel_fn: Callable,
+    contexts: list[ThreadContext],
+    args: tuple,
+    stats: LaunchStats,
+) -> None:
+    """Drive one block of generator threads barrier-round by barrier-round."""
+    generators = []
+    for ctx in contexts:
+        gen = kernel_fn(ctx, *args)
+        generators.append(gen)
+    active = [True] * len(generators)
+
+    while any(active):
+        progressed = 0
+        finished_this_round = 0
+        for i, gen in enumerate(generators):
+            if not active[i]:
+                continue
+            try:
+                next(gen)
+                progressed += 1
+            except StopIteration:
+                active[i] = False
+                finished_this_round += 1
+            except Exception as exc:  # noqa: BLE001 - re-raise typed
+                raise KernelExecutionError(
+                    f"thread ({contexts[i].block_idx},{contexts[i].thread_idx}) "
+                    f"of {stats.kernel_name} failed: {exc}"
+                ) from exc
+        if progressed:
+            stats.barriers += 1
+        # Divergent barrier: some threads hit __syncthreads() while others
+        # already returned in the same round.  Real CUDA: undefined
+        # behaviour / hang.  Simulator: explicit error.
+        if progressed and finished_this_round and any(active):
+            raise KernelExecutionError(
+                f"divergent __syncthreads() in {stats.kernel_name}: "
+                f"{finished_this_round} thread(s) exited while "
+                f"{progressed} thread(s) reached a barrier"
+            )

@@ -1,0 +1,276 @@
+"""Simulated device memory: global, constant, and shared.
+
+The allocator reproduces the resource constraints the paper designs
+around:
+
+* **Global memory** is capacity-checked against the device's 4 GB.  The
+  paper's program allocates two n×n float32 matrices plus several n×k
+  ones; above n = 20,000 that no longer fits and ``cudaMalloc`` fails —
+  :class:`GlobalMemory` raises :class:`~repro.exceptions.DeviceMemoryError`
+  at exactly the same point (see ``tests/gpusim/test_memory.py``).
+* **Constant memory** models the 8 KB *cached working set* (§IV-A): a
+  bandwidth array larger than 2,048 float32 values is rejected.
+* **Shared memory** is per-block and capped at the SM limit (16 KB on the
+  Tesla); the argmin reduction's 2·T floats must fit it.
+
+Allocations are rounded up to 256-byte granularity like the CUDA
+allocator, and the pool tracks live/peak bytes so benches can report the
+memory profile of each run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.exceptions import (
+    ConstantMemoryError,
+    DeviceMemoryError,
+    DeviceStateError,
+    SharedMemoryError,
+    ValidationError,
+)
+from repro.gpusim.device import DeviceSpec, get_device
+
+__all__ = ["DeviceBuffer", "GlobalMemory", "ConstantMemory", "SharedMemory"]
+
+#: CUDA-like allocation granularity.
+ALLOCATION_ALIGNMENT = 256
+
+
+def _aligned(nbytes: int) -> int:
+    return ((nbytes + ALLOCATION_ALIGNMENT - 1) // ALLOCATION_ALIGNMENT) * ALLOCATION_ALIGNMENT
+
+
+@dataclass(eq=False)
+class DeviceBuffer:
+    """A device-resident array handle (the ``cudaMalloc`` result).
+
+    Host code moves data with :meth:`copy_from_host` / :meth:`copy_to_host`
+    (the ``cudaMemcpy`` analogue); device kernels index :attr:`array`
+    directly.  Using a buffer after :meth:`GlobalMemory.free` raises.
+
+    Buffers created with :meth:`GlobalMemory.reserve` are *account-only*:
+    the device bytes are charged against capacity (so OOM behaviour is
+    identical) but no host array backs them — the fast device executor
+    uses them for the big n×n intermediates it streams through in chunks.
+    """
+
+    array: np.ndarray | None
+    nbytes_reserved: int
+    label: str = ""
+    freed: bool = False
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise DeviceStateError(f"use of freed device buffer {self.label!r}")
+        if self.array is None:
+            raise DeviceStateError(
+                f"device buffer {self.label!r} is account-only (reserved, "
+                "not materialised); its contents cannot be accessed"
+            )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        self._check_alive()
+        return self.array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        self._check_alive()
+        return self.array.dtype
+
+    def copy_from_host(self, host: np.ndarray) -> None:
+        """``cudaMemcpy(..., HostToDevice)``: shape/dtype-checked copy in."""
+        self._check_alive()
+        host = np.asarray(host)
+        if host.shape != self.array.shape:
+            raise ValidationError(
+                f"host shape {host.shape} != device shape {self.array.shape}"
+            )
+        self.array[...] = host.astype(self.array.dtype, copy=False)
+
+    def copy_to_host(self) -> np.ndarray:
+        """``cudaMemcpy(..., DeviceToHost)``: returns a host-owned copy."""
+        self._check_alive()
+        return self.array.copy()
+
+    def fill(self, value: float) -> None:
+        """``cudaMemset``-style fill."""
+        self._check_alive()
+        self.array.fill(value)
+
+
+class GlobalMemory:
+    """Capacity-tracked global-memory pool for one device."""
+
+    def __init__(self, device: str | DeviceSpec | None = None):
+        self.device = get_device(device)
+        self.capacity = int(self.device.global_memory_bytes)
+        self.bytes_allocated = 0
+        self.peak_bytes = 0
+        self._live: list[DeviceBuffer] = []
+
+    def _admit(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type,
+        label: str,
+        *,
+        materialize: bool,
+    ) -> DeviceBuffer:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        if any(int(s) < 0 for s in shape):
+            raise ValidationError(f"negative dimension in shape {shape}")
+        np_dtype = np.dtype(dtype)
+        nbytes = _aligned(int(np.prod(shape, dtype=np.int64)) * np_dtype.itemsize)
+        if self.bytes_allocated + nbytes > self.capacity:
+            raise DeviceMemoryError(
+                f"device {self.device.name}: cannot allocate "
+                f"{nbytes / 1e9:.3f} GB for {label or shape} — "
+                f"{self.bytes_allocated / 1e9:.3f} GB of "
+                f"{self.capacity / 1e9:.3f} GB already in use"
+            )
+        buf = DeviceBuffer(
+            array=np.zeros(shape, dtype=np_dtype) if materialize else None,
+            nbytes_reserved=nbytes,
+            label=label,
+        )
+        self.bytes_allocated += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.bytes_allocated)
+        self._live.append(buf)
+        return buf
+
+    def malloc(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+        *,
+        label: str = "",
+    ) -> DeviceBuffer:
+        """Allocate and zero a device array, enforcing capacity.
+
+        Raises
+        ------
+        DeviceMemoryError
+            When the (aligned) request would exceed device capacity —
+            the ``cudaErrorMemoryAllocation`` the paper hits past
+            n = 20,000.
+        """
+        return self._admit(shape, dtype, label, materialize=True)
+
+    def reserve(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+        *,
+        label: str = "",
+    ) -> DeviceBuffer:
+        """Account-only allocation: charged against capacity, no host array.
+
+        Capacity checks (and :class:`DeviceMemoryError`) are identical to
+        :meth:`malloc`; only the host-side backing store is skipped.  The
+        fast device executor reserves the paper's n×n intermediates this
+        way, since it streams through them in chunks rather than holding
+        them whole.
+        """
+        return self._admit(shape, dtype, label, materialize=False)
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        """Release a buffer (double-free raises)."""
+        if buffer.freed:
+            raise DeviceStateError(f"double free of device buffer {buffer.label!r}")
+        buffer.freed = True
+        self.bytes_allocated -= buffer.nbytes_reserved
+        self._live.remove(buffer)
+
+    def free_all(self) -> None:
+        """Release everything still live (``cudaDeviceReset`` analogue)."""
+        for buf in list(self._live):
+            self.free(buf)
+
+    @property
+    def live_buffers(self) -> list[DeviceBuffer]:
+        """Currently allocated buffers (for leak assertions in tests)."""
+        return list(self._live)
+
+    def report(self) -> dict[str, float]:
+        """Snapshot of the pool for bench diagnostics."""
+        return {
+            "device": self.device.name,
+            "capacity_gb": self.capacity / 1e9,
+            "allocated_gb": self.bytes_allocated / 1e9,
+            "peak_gb": self.peak_bytes / 1e9,
+            "live_buffers": len(self._live),
+        }
+
+
+class ConstantMemory:
+    """The constant-memory store with its 8 KB cached working set.
+
+    §IV-A: "Because the typical GPU's cache working set for constant
+    memory is only 8 KB, no more than 2,048 bandwidth values can be
+    considered in the optimization."
+    """
+
+    def __init__(self, device: str | DeviceSpec | None = None):
+        self.device = get_device(device)
+        self._data: np.ndarray | None = None
+
+    def store(self, values: np.ndarray, *, dtype: np.dtype | type = np.float32) -> None:
+        """Upload an array, enforcing the cached-working-set bound."""
+        arr = np.ascontiguousarray(values, dtype=dtype)
+        if arr.nbytes > self.device.constant_cache_bytes:
+            limit = self.device.max_constant_floats(arr.itemsize)
+            raise ConstantMemoryError(
+                f"{arr.size} values ({arr.nbytes} B) exceed the "
+                f"{self.device.constant_cache_bytes} B constant-memory "
+                f"working set (max {limit} values of this dtype)"
+            )
+        self._data = arr
+
+    def read(self) -> np.ndarray:
+        """Device-side read of the stored array."""
+        if self._data is None:
+            raise DeviceStateError("constant memory has not been written")
+        return self._data
+
+    @property
+    def occupied_bytes(self) -> int:
+        """Bytes currently stored (0 when empty)."""
+        return 0 if self._data is None else int(self._data.nbytes)
+
+
+class SharedMemory:
+    """Per-block scratch memory, capacity-checked against the SM limit."""
+
+    def __init__(self, device: str | DeviceSpec | None = None):
+        self.device = get_device(device)
+        self.bytes_allocated = 0
+        self._arrays: list[np.ndarray] = []
+
+    def alloc(
+        self, count: int, dtype: np.dtype | type = np.float32, *, label: str = ""
+    ) -> np.ndarray:
+        """Allocate a shared array visible to every thread in the block."""
+        if count < 0:
+            raise ValidationError(f"negative shared allocation {count}")
+        np_dtype = np.dtype(dtype)
+        nbytes = int(count) * np_dtype.itemsize
+        limit = self.device.shared_memory_per_block_bytes
+        if self.bytes_allocated + nbytes > limit:
+            raise SharedMemoryError(
+                f"block shared memory exhausted: {label or count} needs "
+                f"{nbytes} B on top of {self.bytes_allocated} B "
+                f"(limit {limit} B)"
+            )
+        arr = np.zeros(count, dtype=np_dtype)
+        self.bytes_allocated += nbytes
+        self._arrays.append(arr)
+        return arr
+
+    def reset(self) -> None:
+        """Release all shared arrays (between block executions)."""
+        self.bytes_allocated = 0
+        self._arrays.clear()

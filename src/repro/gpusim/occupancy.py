@@ -1,0 +1,138 @@
+"""SM occupancy model — why the paper picks 512 threads per block.
+
+§IV-B: "Because this main kernel does not use shared memory or
+coordination across threads, the block size and grid size were selected
+to minimize the run-time.  The total number of threads in the grid was
+set equal to the number of observations in the data.  The fastest
+performance was found with threads per block set to 512, the maximum
+possible on the GPU being used."
+
+This module reproduces that reasoning quantitatively with the classic
+CUDA occupancy calculation for CC 1.x hardware: how many blocks fit on
+one SM simultaneously, limited by
+
+* the per-SM thread cap (1,024 on CC 1.3),
+* the per-SM block cap (8),
+* warp granularity (threads round up to 32-lane warps),
+* per-block shared memory (16 KB per SM on CC 1.3),
+* registers (modelled per-thread; 16,384 per SM on CC 1.3).
+
+For a kernel with no shared memory and a modest register count, 512
+threads/block hits 100 % occupancy while larger *grids of small blocks*
+bottleneck on the 8-block cap — exactly the paper's finding, asserted in
+``tests/gpusim/test_occupancy.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import LaunchConfigurationError, ValidationError
+from repro.gpusim.device import DeviceSpec, get_device
+
+__all__ = ["OccupancyReport", "occupancy", "best_block_size"]
+
+#: CC 1.3 per-SM limits (CUDA occupancy calculator values).
+_MAX_THREADS_PER_SM = 1024
+_MAX_BLOCKS_PER_SM = 8
+_REGISTERS_PER_SM = 16384
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy of one launch configuration on one SM."""
+
+    block_dim: int
+    warps_per_block: int
+    blocks_per_sm: int
+    active_threads: int
+    occupancy: float
+    limiter: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.block_dim} threads/block -> {self.blocks_per_sm} "
+            f"block(s)/SM, {self.active_threads} active threads "
+            f"({self.occupancy:.0%}, limited by {self.limiter})"
+        )
+
+
+def occupancy(
+    block_dim: int,
+    *,
+    device: str | DeviceSpec | None = None,
+    registers_per_thread: int = 16,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyReport:
+    """Occupancy of a launch with ``block_dim`` threads per block.
+
+    ``registers_per_thread`` defaults to a typical value for a kernel of
+    the main kernel's complexity on CC 1.x.
+    """
+    spec = get_device(device)
+    if block_dim <= 0:
+        raise LaunchConfigurationError(f"block_dim must be positive, got {block_dim}")
+    if block_dim > spec.max_threads_per_block:
+        raise LaunchConfigurationError(
+            f"block_dim {block_dim} exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if registers_per_thread <= 0:
+        raise ValidationError("registers_per_thread must be positive")
+    if shared_bytes_per_block < 0:
+        raise ValidationError("shared_bytes_per_block must be >= 0")
+
+    warp = spec.warp_size
+    warps_per_block = -(-block_dim // warp)
+    threads_rounded = warps_per_block * warp
+
+    limits = {
+        "threads": _MAX_THREADS_PER_SM // threads_rounded,
+        "blocks": _MAX_BLOCKS_PER_SM,
+        "registers": _REGISTERS_PER_SM // (registers_per_thread * threads_rounded),
+    }
+    if shared_bytes_per_block > 0:
+        limits["shared-memory"] = (
+            spec.shared_memory_per_block_bytes // shared_bytes_per_block
+        )
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(limits[limiter], 0)
+    active = blocks * threads_rounded
+    return OccupancyReport(
+        block_dim=block_dim,
+        warps_per_block=warps_per_block,
+        blocks_per_sm=blocks,
+        active_threads=min(active, _MAX_THREADS_PER_SM),
+        occupancy=min(active, _MAX_THREADS_PER_SM) / _MAX_THREADS_PER_SM,
+        limiter=limiter,
+    )
+
+
+def best_block_size(
+    *,
+    device: str | DeviceSpec | None = None,
+    registers_per_thread: int = 16,
+    shared_bytes_per_block: int = 0,
+    candidates: tuple[int, ...] = (32, 64, 128, 256, 512),
+) -> tuple[int, list[OccupancyReport]]:
+    """The occupancy-maximising block size among ``candidates``.
+
+    Ties break toward the *largest* block (fewer blocks → less per-block
+    launch overhead), matching the paper's empirical preference for the
+    512-thread maximum.
+    """
+    spec = get_device(device)
+    reports = [
+        occupancy(
+            c,
+            device=spec,
+            registers_per_thread=registers_per_thread,
+            shared_bytes_per_block=shared_bytes_per_block,
+        )
+        for c in candidates
+        if c <= spec.max_threads_per_block
+    ]
+    if not reports:
+        raise ValidationError("no candidate block size fits the device")
+    best = max(reports, key=lambda r: (r.occupancy, r.block_dim))
+    return best.block_dim, reports

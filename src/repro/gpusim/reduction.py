@@ -1,0 +1,175 @@
+"""Shared-memory tree reductions (Harris, "Optimizing Parallel Reduction
+in CUDA" — the paper's reference [17]).
+
+Two device kernels, both written as cooperative generator kernels whose
+``yield`` statements are ``__syncthreads()`` barriers, exactly following
+the paper's §IV-B description:
+
+* :func:`sum_reduction_kernel` — "a single block is called, and T
+  elements are stored in shared memory.  Each thread t first adds
+  together the values ... for the observations j for which j equals t
+  modulus T.  Then, the threads synchronize, and each thread with
+  t < T/2 adds to its sum the sum from the thread t+T/2.  The process
+  repeats with T/4, T/8, and so on until thread zero contains the full
+  sum."
+* :func:`argmin_reduction_kernel` — "it is necessary to store 2·T
+  elements in shared memory.  The first T contain the cross-validation
+  scores, and the next T contain the bandwidths to which they
+  correspond" — each pairwise min carries its bandwidth along, and
+  element T of shared memory ends up holding the optimal bandwidth.
+
+Host-side wrappers :func:`device_sum` and :func:`device_argmin` handle
+the launch and result copy-back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LaunchConfigurationError
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.kernel import LaunchStats, launch_kernel
+from repro.gpusim.memory import SharedMemory
+
+__all__ = [
+    "sum_reduction_kernel",
+    "argmin_reduction_kernel",
+    "device_sum",
+    "device_argmin",
+]
+
+
+def _check_power_of_two(block_dim: int) -> None:
+    if block_dim & (block_dim - 1):
+        raise LaunchConfigurationError(
+            f"tree reduction needs a power-of-two block, got {block_dim}"
+        )
+
+
+def sum_reduction_kernel(ctx, data: np.ndarray, n: int, out: np.ndarray, out_idx: int):
+    """Single-block tree sum of ``data[:n]`` into ``out[out_idx]``."""
+    t = ctx.thread_idx
+    T = ctx.block_dim
+    if t == 0:
+        ctx.shared.alloc(T, np.float32, label="partial-sums")
+    yield  # barrier: shared memory allocated before anyone writes it
+    partial = ctx.shared._arrays[0]
+
+    # Grid-stride accumulation: thread t owns elements j ≡ t (mod T).
+    acc = np.float32(0.0)
+    j = t
+    while j < n:
+        acc += np.float32(data[j])
+        j += T
+    partial[t] = acc
+    ctx.tally(ops=max(1, (n + T - 1) // T), bytes_read=4 * max(1, (n + T - 1) // T))
+    yield  # __syncthreads()
+
+    stride = T // 2
+    while stride >= 1:
+        if t < stride:
+            partial[t] += partial[t + stride]
+            ctx.tally(ops=1)
+        stride //= 2
+        yield  # __syncthreads()
+
+    if t == 0:
+        out[out_idx] = partial[0]
+        ctx.tally(bytes_written=4)
+
+
+def argmin_reduction_kernel(
+    ctx, scores: np.ndarray, values: np.ndarray, k: int, out: np.ndarray
+):
+    """Single-block argmin: ``out[0] = min score``, ``out[1] = its value``.
+
+    ``values`` are the bandwidths tied to each score.  Entries beyond
+    ``k`` and non-finite scores (bandwidths whose denominator was always
+    zero) are treated as +inf so they never win.
+    """
+    t = ctx.thread_idx
+    T = ctx.block_dim
+    if t == 0:
+        # 2*T floats: T scores followed by T bandwidths (paper §IV-B).
+        ctx.shared.alloc(2 * T, np.float32, label="score-and-bandwidth")
+    yield
+    shared = ctx.shared._arrays[0]
+
+    best = np.float32(np.inf)
+    best_value = np.float32(0.0)
+    j = t
+    while j < k:
+        s = np.float32(scores[j])
+        if np.isfinite(s) and s < best:
+            best = s
+            best_value = np.float32(values[j])
+        j += T
+        ctx.tally(ops=1, bytes_read=8)
+    shared[t] = best
+    shared[t + T] = best_value
+    yield
+
+    stride = T // 2
+    while stride >= 1:
+        if t < stride and shared[t + stride] < shared[t]:
+            shared[t] = shared[t + stride]
+            shared[t + T] = shared[t + stride + T]
+            ctx.tally(ops=1)
+        stride //= 2
+        yield
+
+    if t == 0:
+        out[0] = shared[0]
+        out[1] = shared[T]
+        ctx.tally(bytes_written=8)
+
+
+def device_sum(
+    data: np.ndarray,
+    *,
+    n: int | None = None,
+    device: str | DeviceSpec | None = None,
+    block_dim: int | None = None,
+) -> tuple[float, LaunchStats]:
+    """Launch the sum reduction; returns ``(sum, launch stats)``."""
+    spec = get_device(device)
+    T = block_dim or spec.max_threads_per_block
+    _check_power_of_two(T)
+    count = data.shape[0] if n is None else int(n)
+    out = np.zeros(1, dtype=np.float32)
+    stats = launch_kernel(
+        sum_reduction_kernel,
+        grid_dim=1,
+        block_dim=T,
+        args=(data, count, out, 0),
+        device=spec,
+        shared_factory=lambda: SharedMemory(spec),
+    )
+    return float(out[0]), stats
+
+
+def device_argmin(
+    scores: np.ndarray,
+    values: np.ndarray,
+    *,
+    device: str | DeviceSpec | None = None,
+    block_dim: int | None = None,
+) -> tuple[float, float, LaunchStats]:
+    """Launch the argmin reduction; returns ``(min score, value, stats)``."""
+    spec = get_device(device)
+    T = block_dim or spec.max_threads_per_block
+    _check_power_of_two(T)
+    if scores.shape != values.shape:
+        raise LaunchConfigurationError(
+            f"scores shape {scores.shape} != values shape {values.shape}"
+        )
+    out = np.zeros(2, dtype=np.float32)
+    stats = launch_kernel(
+        argmin_reduction_kernel,
+        grid_dim=1,
+        block_dim=T,
+        args=(scores, values, scores.shape[0], out),
+        device=spec,
+        shared_factory=lambda: SharedMemory(spec),
+    )
+    return float(out[0]), float(out[1]), stats

@@ -1,0 +1,130 @@
+"""Iterative dual-array quicksort (the paper's device sort).
+
+§IV-B: "An iterative variant of QuickSort is used, modified from [12]
+(Finley) to sort floating point numbers and to also sort an auxiliary
+variable.  This iterative QuickSort improves upon the recursive version
+by eliminating the need for a tree of recursive subcalls ... using the
+iterative version helps to maintain compatibility with earlier GPUs, as
+earlier versions of CUDA do not allow functions to contain recursive
+sub-calls."
+
+This is that sort: an explicit-stack quicksort over a key array that
+carries one auxiliary (payload) array through the same permutation.  Each
+simulated GPU thread runs its own private instance to order its row of
+``|X_i − X_j|`` values together with the matching ``Y`` values.
+
+The explicit stack bound (2·⌈log₂ n⌉ frames when the smaller partition is
+pushed first — here, as in Finley's original, the stack simply holds both
+sides, bounded by ``MAX_LEVELS``) mirrors the fixed-size array a CC 1.x
+device function must declare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import KernelExecutionError, ValidationError
+
+__all__ = ["iterative_quicksort", "quicksort_ops_estimate", "MAX_LEVELS"]
+
+#: Fixed explicit-stack depth, as a device function would declare it.
+#: 64 levels cover any input a 64-bit index can address.
+MAX_LEVELS: int = 64
+
+
+def iterative_quicksort(
+    keys: np.ndarray,
+    payload: np.ndarray | None = None,
+    *,
+    count_ops: bool = False,
+) -> int:
+    """Sort ``keys`` ascending in place, permuting ``payload`` alongside.
+
+    A faithful port of Finley's non-recursive quicksort: pivot = first
+    element of the segment, two inward-moving cursors, explicit
+    ``beg``/``end`` stacks.  Degenerate (already-sorted) inputs hit the
+    classic O(n²) worst case, exactly as the paper's device code would —
+    callers who care should not feed sorted data (the bandwidth program
+    sorts *distances of randomly ordered observations*, where this is a
+    non-issue).
+
+    Returns the number of key comparisons+moves when ``count_ops`` is
+    true (0 otherwise) so the timing model can be validated against the
+    instrumented count.
+    """
+    if keys.ndim != 1:
+        raise ValidationError(f"keys must be 1-D, got shape {keys.shape}")
+    if payload is not None and payload.shape != keys.shape:
+        raise ValidationError(
+            f"payload shape {payload.shape} != keys shape {keys.shape}"
+        )
+    n = keys.shape[0]
+    if n < 2:
+        return 0
+
+    beg = [0] * MAX_LEVELS
+    end = [0] * MAX_LEVELS
+    beg[0], end[0] = 0, n
+    top = 0
+    ops = 0
+
+    while top >= 0:
+        lo, hi = beg[top], end[top]
+        if hi - lo < 2:
+            top -= 1
+            continue
+        # Pivot: first element of the segment (Finley's choice).
+        pivot_key = keys[lo]
+        pivot_payload = payload[lo] if payload is not None else None
+        left, right = lo, hi - 1
+        while left < right:
+            while keys[right] >= pivot_key and left < right:
+                right -= 1
+                ops += 1
+            if left < right:
+                keys[left] = keys[right]
+                if payload is not None:
+                    payload[left] = payload[right]
+                left += 1
+                ops += 1
+            while keys[left] <= pivot_key and left < right:
+                left += 1
+                ops += 1
+            if left < right:
+                keys[right] = keys[left]
+                if payload is not None:
+                    payload[right] = payload[left]
+                right -= 1
+                ops += 1
+        keys[left] = pivot_key
+        if payload is not None:
+            payload[left] = pivot_payload
+        # Keep the larger segment in the current frame and push the
+        # smaller on top (processed first): bounds the explicit stack at
+        # ⌈log₂ n⌉ frames even on sorted input — the one modification to
+        # Finley's frame ordering needed to honour a fixed-size stack.
+        left_seg = (lo, left)
+        right_seg = (left + 1, hi)
+        if left_seg[1] - left_seg[0] >= right_seg[1] - right_seg[0]:
+            larger, smaller = left_seg, right_seg
+        else:
+            larger, smaller = right_seg, left_seg
+        beg[top], end[top] = larger
+        top += 1
+        if top >= MAX_LEVELS:
+            raise KernelExecutionError(
+                "quicksort explicit stack overflow (MAX_LEVELS exceeded)"
+            )
+        beg[top], end[top] = smaller
+    return ops if count_ops else 0
+
+
+def quicksort_ops_estimate(n: int) -> float:
+    """Expected comparison count for random input, ``≈ 1.39·n·log₂ n``.
+
+    The timing model uses this analytic form; the instrumented
+    ``count_ops`` path exists to validate it (see the gpusim tests).
+    """
+    if n < 2:
+        return 0.0
+    return 1.39 * n * np.log2(n)

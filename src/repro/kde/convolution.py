@@ -1,0 +1,127 @@
+"""Kernel self-convolutions ``K̄(t) = ∫ K(v)·K(t−v) dv``.
+
+The least-squares CV objective for KDE needs ``∫ f̂²``, whose exact
+pairwise form runs through the self-convolution kernel.  For the paper's
+fast-grid trick to extend to KDE, ``K̄`` must itself be a compact
+polynomial — true for the Epanechnikov and Uniform kernels (closed forms
+below), false for e.g. the Triangular (piecewise cubic) and Gaussian
+(infinite support), which take the numeric/dense path.
+
+Closed forms (support ``|t| <= 2``):
+
+* Epanechnikov: ``K̄(t) = (3/160)·(32 − 40t² + 20|t|³ − |t|⁵)``
+* Uniform:      ``K̄(t) = (2 − |t|)/4``
+
+Both satisfy ``K̄(0) = R(K)`` and ``K̄(±2) = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.kernels import Kernel, PolyTerm, get_kernel
+
+__all__ = ["ConvolutionKernel", "self_convolution", "CONVOLUTION_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class ConvolutionKernel:
+    """A kernel self-convolution: callable plus fast-grid metadata."""
+
+    name: str
+    support_radius: float
+    evaluate: Callable[[np.ndarray], np.ndarray]
+    poly_terms: tuple[PolyTerm, ...] | None = None
+
+    @property
+    def supports_fast_grid(self) -> bool:
+        """Polynomial + compact → usable by the sorted LSCV grid sweep."""
+        return math.isfinite(self.support_radius) and self.poly_terms is not None
+
+    def __call__(self, t: np.ndarray | float) -> np.ndarray:
+        arr = np.asarray(t, dtype=float)
+        if math.isinf(self.support_radius):
+            return self.evaluate(arr)
+        out = np.zeros_like(arr)
+        mask = np.abs(arr) <= self.support_radius
+        if np.any(mask):
+            out[mask] = self.evaluate(arr[mask])
+        return out
+
+
+def _epanechnikov_conv(t: np.ndarray) -> np.ndarray:
+    a = np.abs(t)
+    return (3.0 / 160.0) * (32.0 - 40.0 * a**2 + 20.0 * a**3 - a**5)
+
+
+def _uniform_conv(t: np.ndarray) -> np.ndarray:
+    return (2.0 - np.abs(t)) / 4.0
+
+
+def _gaussian_conv(t: np.ndarray) -> np.ndarray:
+    # N(0,1) * N(0,1) = N(0,2): density (1/(2√π))·exp(−t²/4).
+    return np.exp(-0.25 * t * t) / (2.0 * math.sqrt(math.pi))
+
+
+CONVOLUTION_REGISTRY: Dict[str, ConvolutionKernel] = {
+    "epanechnikov": ConvolutionKernel(
+        name="epanechnikov",
+        support_radius=2.0,
+        evaluate=_epanechnikov_conv,
+        poly_terms=(
+            PolyTerm(3.0 / 160.0 * 32.0, 0),
+            PolyTerm(3.0 / 160.0 * -40.0, 2),
+            PolyTerm(3.0 / 160.0 * 20.0, 3),
+            PolyTerm(3.0 / 160.0 * -1.0, 5),
+        ),
+    ),
+    "uniform": ConvolutionKernel(
+        name="uniform",
+        support_radius=2.0,
+        evaluate=_uniform_conv,
+        poly_terms=(PolyTerm(0.5, 0), PolyTerm(-0.25, 1)),
+    ),
+    "gaussian": ConvolutionKernel(
+        name="gaussian",
+        support_radius=math.inf,
+        evaluate=_gaussian_conv,
+        poly_terms=None,
+    ),
+}
+
+
+def self_convolution(kernel: str | Kernel, *, grid_points: int = 2049) -> ConvolutionKernel:
+    """Self-convolution of ``kernel`` — closed form if known, else numeric.
+
+    The numeric fallback tabulates ``∫ K(v)K(t−v) dv`` by trapezoid on a
+    dense grid over the (finite) support and interpolates; it is built
+    once per call, so callers should hold on to the result.
+    """
+    kern = get_kernel(kernel)
+    known = CONVOLUTION_REGISTRY.get(kern.name)
+    if known is not None:
+        return known
+    if not kern.has_compact_support:
+        raise NotImplementedError(
+            f"no convolution rule for infinite-support kernel {kern.name!r}"
+        )
+    radius = kern.support_radius
+    v = np.linspace(-radius, radius, grid_points)
+    kv = kern(v)
+    ts = np.linspace(-2.0 * radius, 2.0 * radius, grid_points)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    table = np.array([trapezoid(kv * kern(t - v), v) for t in ts])
+
+    def evaluate(t: np.ndarray) -> np.ndarray:
+        return np.interp(np.abs(np.asarray(t, dtype=float)), ts[ts >= 0], table[ts >= 0])
+
+    return ConvolutionKernel(
+        name=kern.name,
+        support_radius=2.0 * radius,
+        evaluate=evaluate,
+        poly_terms=None,
+    )

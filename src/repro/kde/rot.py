@@ -1,0 +1,58 @@
+"""Rules of thumb for KDE bandwidths.
+
+The paper's introduction cites Silverman (1986) and Sheather & Jones
+(1991) as the "rule of thumb procedures" economists fall back on instead
+of the optimal bandwidth.  We implement the two normal-reference rules
+(Silverman's and Scott's); they are exact under Gaussian data and
+oversmooth multimodal densities — which the bimodal example demonstrates
+against the LSCV selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SelectionError, ValidationError
+from repro.kernels import GaussianKernel, Kernel, get_kernel
+
+__all__ = ["silverman_bandwidth", "scott_bandwidth"]
+
+
+def _robust_spread(x: np.ndarray) -> float:
+    sd = float(np.std(x, ddof=1))
+    q75, q25 = np.percentile(x, [75.0, 25.0])
+    iqr = float(q75 - q25) / 1.349
+    candidates = [s for s in (sd, iqr) if s > 0.0]
+    if not candidates:
+        raise SelectionError("sample has zero spread; no rule-of-thumb bandwidth")
+    return min(candidates)
+
+
+def _kernel_rescale(kern: Kernel) -> float:
+    """Canonical-bandwidth ratio from the Gaussian to ``kern``."""
+    return kern.canonical_bandwidth / GaussianKernel().canonical_bandwidth
+
+
+def silverman_bandwidth(x: np.ndarray, kernel: str | Kernel = "gaussian") -> float:
+    """Silverman's rule: ``h = 0.9·min(σ̂, IQR/1.349)·n^{-1/5}``.
+
+    Stated for the Gaussian kernel; rescaled to other kernels through
+    canonical bandwidths.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size < 2:
+        raise ValidationError("Silverman's rule needs a 1-D sample of size >= 2")
+    kern = get_kernel(kernel)
+    return 0.9 * _robust_spread(x) * x.size ** (-0.2) * _kernel_rescale(kern)
+
+
+def scott_bandwidth(x: np.ndarray, kernel: str | Kernel = "gaussian") -> float:
+    """Scott's rule: ``h = 1.06·σ̂·n^{-1/5}`` (normal reference)."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size < 2:
+        raise ValidationError("Scott's rule needs a 1-D sample of size >= 2")
+    sd = float(np.std(x, ddof=1))
+    if sd <= 0.0:
+        raise SelectionError("sample has zero standard deviation")
+    kern = get_kernel(kernel)
+    return 1.06 * sd * x.size ** (-0.2) * _kernel_rescale(kern)

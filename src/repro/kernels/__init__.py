@@ -1,0 +1,42 @@
+"""Kernel weighting functions ``K(u)`` for regression and density work.
+
+The Epanechnikov kernel is the paper's choice (eq. 3); the others round
+out the standard toolbox.  Kernels with :attr:`Kernel.poly_terms` support
+the fast sorted grid search of paper §III.
+"""
+
+from repro.kernels.base import Kernel, PolyTerm
+from repro.kernels.polynomial import (
+    BiweightKernel,
+    EpanechnikovKernel,
+    TriangularKernel,
+    TricubeKernel,
+    TriweightKernel,
+    UniformKernel,
+)
+from repro.kernels.registry import (
+    KERNEL_REGISTRY,
+    fast_grid_kernels,
+    get_kernel,
+    list_kernels,
+    register_kernel,
+)
+from repro.kernels.smooth import CosineKernel, GaussianKernel
+
+__all__ = [
+    "KERNEL_REGISTRY",
+    "Kernel",
+    "PolyTerm",
+    "BiweightKernel",
+    "CosineKernel",
+    "EpanechnikovKernel",
+    "GaussianKernel",
+    "TriangularKernel",
+    "TricubeKernel",
+    "TriweightKernel",
+    "UniformKernel",
+    "fast_grid_kernels",
+    "get_kernel",
+    "list_kernels",
+    "register_kernel",
+]

@@ -1,0 +1,83 @@
+"""Kernel registry and lookup.
+
+Kernels are stateless, so the registry holds shared singleton instances.
+``get_kernel`` accepts either a name or an existing :class:`Kernel`
+instance, which lets every public API take ``kernel="epanechnikov"`` or a
+custom subclass interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.exceptions import ValidationError
+from repro.kernels.base import Kernel
+from repro.kernels.polynomial import (
+    BiweightKernel,
+    EpanechnikovKernel,
+    TriangularKernel,
+    TricubeKernel,
+    TriweightKernel,
+    UniformKernel,
+)
+from repro.kernels.smooth import CosineKernel, GaussianKernel
+
+__all__ = [
+    "KERNEL_REGISTRY",
+    "get_kernel",
+    "register_kernel",
+    "list_kernels",
+    "fast_grid_kernels",
+]
+
+KERNEL_REGISTRY: Dict[str, Kernel] = {}
+
+
+def register_kernel(kernel: Kernel, *, overwrite: bool = False) -> Kernel:
+    """Add a kernel instance to the registry under ``kernel.name``."""
+    if not isinstance(kernel, Kernel):
+        raise ValidationError(f"expected a Kernel instance, got {kernel!r}")
+    if kernel.name in KERNEL_REGISTRY and not overwrite:
+        raise ValidationError(f"kernel {kernel.name!r} is already registered")
+    KERNEL_REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+for _cls in (
+    EpanechnikovKernel,
+    UniformKernel,
+    TriangularKernel,
+    BiweightKernel,
+    TriweightKernel,
+    TricubeKernel,
+    CosineKernel,
+    GaussianKernel,
+):
+    register_kernel(_cls())
+
+
+def get_kernel(kernel: str | Kernel) -> Kernel:
+    """Resolve a kernel by name or pass an instance through."""
+    if isinstance(kernel, Kernel):
+        return kernel
+    if isinstance(kernel, str):
+        try:
+            return KERNEL_REGISTRY[kernel.lower()]
+        except KeyError:
+            known = ", ".join(sorted(KERNEL_REGISTRY))
+            raise ValidationError(
+                f"unknown kernel {kernel!r}; known kernels: {known}"
+            ) from None
+    raise ValidationError(f"kernel must be a name or Kernel instance, got {kernel!r}")
+
+
+def list_kernels() -> list[str]:
+    """Registered kernel names, sorted."""
+    return sorted(KERNEL_REGISTRY)
+
+
+def fast_grid_kernels() -> Iterable[str]:
+    """Names of kernels eligible for the sorted prefix-sum grid search."""
+    return sorted(
+        name for name, k in KERNEL_REGISTRY.items() if k.supports_fast_grid
+    )

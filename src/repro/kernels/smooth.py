@@ -1,0 +1,54 @@
+"""Non-polynomial kernels: Cosine (compact) and Gaussian (infinite).
+
+Neither admits the prefix-sum decomposition:
+
+* The Cosine kernel has compact support but ``cos(πu/2)`` is not a
+  polynomial in ``u``, so the per-bandwidth sums cannot be rolled forward —
+  selectors route it through the dense vectorised path.
+* The Gaussian never truncates.  As the paper's footnote 1 observes, that
+  also means it needs *no sort*: every observation contributes at every
+  bandwidth, and the grid loop is a dense O(k·n²) computation regardless.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+__all__ = ["CosineKernel", "GaussianKernel"]
+
+
+class CosineKernel(Kernel):
+    """``K(u) = (π/4)·cos(πu/2)·1{|u| <= 1}``."""
+
+    name = "cosine"
+    support_radius = 1.0
+    poly_terms = None
+    roughness = math.pi**2 / 16.0
+    second_moment = 1.0 - 8.0 / math.pi**2
+
+    def _weight_on_support(self, u: np.ndarray) -> np.ndarray:
+        return (math.pi / 4.0) * np.cos(math.pi * u / 2.0)
+
+
+class GaussianKernel(Kernel):
+    """``K(u) = φ(u)`` — the standard normal density.
+
+    Probably the second most common weighting function (paper footnote 1).
+    Infinite support: ``M(X_i)`` is always 1 and the fast grid search does
+    not apply.
+    """
+
+    name = "gaussian"
+    support_radius = math.inf
+    poly_terms = None
+    roughness = 1.0 / (2.0 * math.sqrt(math.pi))
+    second_moment = 1.0
+
+    _NORM = 1.0 / math.sqrt(2.0 * math.pi)
+
+    def _weight_on_support(self, u: np.ndarray) -> np.ndarray:
+        return self._NORM * np.exp(-0.5 * u * u)

@@ -1,0 +1,126 @@
+"""Per-dimension fast grid sweep for product kernels.
+
+The paper's sorted prefix-sum trick (§III) does not cover a full product
+kernel directly — the windows are rectangles, not intervals — but it
+*does* cover one dimension at a time: holding every other dimension's
+weight fixed at
+
+    W_il = Π_{d ≠ j} K_d((X_{i,d} − X_{l,d}) / h_d),
+
+the swept dimension's kernel is still a compact polynomial in
+``d_j / h_j``, so the leave-one-out sums factor as
+
+    Σ_{d_j <= R·h_j} (W_il · Y_l) · c_p · d_j^p / h_j^p
+
+— exactly the univariate decomposition with ``W·Y`` and ``W`` in place of
+``Y`` and 1.  One pass over the pairwise distances therefore evaluates
+``CV_lc`` for an entire grid of ``h_j`` values, which is what makes
+coordinate-descent bandwidth selection (`.selection`) cheap: each descent
+step costs one weighted sweep, O(n²·(d−1 + log k)), instead of k dense
+O(d·n²) evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.kernels import Kernel
+from repro.core.fastgrid import require_fast_grid_kernel
+from repro.multivariate.product import (
+    product_weights,
+    resolve_kernels,
+    self_weight_constant,
+)
+from repro.multivariate.validation import (
+    check_multivariate_sample,
+    ensure_bandwidth_vector,
+)
+from repro.utils.chunking import chunk_slices, suggest_chunk_rows
+from repro.utils.validation import ensure_bandwidths
+
+__all__ = ["mv_cv_scores_along_dim"]
+
+
+def mv_cv_scores_along_dim(
+    x: np.ndarray,
+    y: np.ndarray,
+    h: np.ndarray | float,
+    dim: int,
+    bandwidths: np.ndarray,
+    kernels: str | Kernel | Sequence[str | Kernel] = "epanechnikov",
+    *,
+    chunk_rows: int | None = None,
+) -> np.ndarray:
+    """``CV_lc`` over a grid of bandwidths for dimension ``dim``.
+
+    ``h`` supplies the *other* dimensions' bandwidths (``h[dim]`` is
+    ignored); ``bandwidths`` is the ascending grid swept for dimension
+    ``dim``.  The swept dimension's kernel must support the fast grid
+    (compact polynomial); the other dimensions' kernels may be anything.
+    """
+    x, y = check_multivariate_sample(x, y)
+    n, d = x.shape
+    if not 0 <= dim < d:
+        raise ValidationError(f"dim must be in [0, {d}), got {dim}")
+    h_vec = ensure_bandwidth_vector(h, d)
+    grid = ensure_bandwidths(bandwidths)
+    kerns = resolve_kernels(kernels, d)
+    swept = require_fast_grid_kernel(kerns[dim])
+    k = grid.shape[0]
+    self_w = self_weight_constant(kerns, skip_dim=dim)
+
+    rows = chunk_rows or suggest_chunk_rows(
+        n, working_arrays=4 + d + len(swept.poly_terms)
+    )
+    sq_sums = np.zeros(k, dtype=np.float64)
+    x_dim = x[:, dim]
+
+    for sl in chunk_slices(n, rows):
+        m = sl.stop - sl.start
+        w_other = product_weights(x[sl], x, h_vec, kerns, skip_dim=dim)
+        dist = np.abs(x_dim[sl, None] - x_dim[None, :])
+        first_j = np.minimum(
+            np.searchsorted(grid * swept.support_radius, dist.ravel(), side="left"),
+            k,
+        )
+        flat_bins = (
+            np.repeat(np.arange(m, dtype=np.int64) * (k + 1), n) + first_j
+        )
+
+        num = np.zeros((m, k), dtype=np.float64)
+        den = np.zeros((m, k), dtype=np.float64)
+        h_cols = grid[None, :]
+        for term in swept.poly_terms:
+            if term.power == 0:
+                wd = w_other
+            else:
+                wd = w_other * dist**term.power
+            wyd = wd * y[None, :]
+            hist_d = np.bincount(
+                flat_bins, weights=wd.ravel(), minlength=m * (k + 1)
+            ).reshape(m, k + 1)[:, :k]
+            hist_yd = np.bincount(
+                flat_bins, weights=wyd.ravel(), minlength=m * (k + 1)
+            ).reshape(m, k + 1)[:, :k]
+            scale = term.coefficient / (
+                h_cols**term.power if term.power else 1.0
+            )
+            num += scale * np.cumsum(hist_yd, axis=1)
+            den += scale * np.cumsum(hist_d, axis=1)
+
+        # Leave-one-out: each observation sits in its own window at every
+        # swept bandwidth with swept-dimension distance 0 (power-0 terms
+        # only) and fixed-weight ``self_w`` from the other dimensions.
+        c0 = sum(t.coefficient for t in swept.poly_terms if t.power == 0)
+        y_block = y[sl]
+        num -= c0 * self_w * y_block[:, None]
+        den -= c0 * self_w
+
+        valid = den > 0.0
+        g_loo = np.where(valid, num / np.where(valid, den, 1.0), 0.0)
+        resid = np.where(valid, y_block[:, None] - g_loo, 0.0)
+        sq_sums += np.einsum("ij,ij->j", resid, resid)
+    return sq_sums / n

@@ -1,0 +1,64 @@
+"""Validation helpers for multivariate samples."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DataShapeError
+from repro.utils.validation import as_float_array
+
+__all__ = ["as_design_matrix", "check_multivariate_sample", "ensure_bandwidth_vector"]
+
+
+def as_design_matrix(values: Any, *, name: str = "X") -> np.ndarray:
+    """Coerce to a 2-D (n, d) float64 design matrix.
+
+    1-D input is promoted to a single-column matrix so the multivariate
+    API degrades gracefully to the univariate case.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise DataShapeError(f"{name} must be 2-D (n, d), got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise DataShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_multivariate_sample(
+    x: Any, y: Any, *, min_size: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a multivariate regression sample ``(X, y)``."""
+    x_mat = as_design_matrix(x)
+    y_arr = as_float_array(y, name="y")
+    if x_mat.shape[0] != y_arr.shape[0]:
+        raise DataShapeError(
+            f"X has {x_mat.shape[0]} rows but y has {y_arr.shape[0]} entries"
+        )
+    if x_mat.shape[0] < min_size:
+        raise DataShapeError(
+            f"need at least {min_size} observations, got {x_mat.shape[0]}"
+        )
+    return x_mat, y_arr
+
+
+def ensure_bandwidth_vector(h: Any, d: int) -> np.ndarray:
+    """Validate a per-dimension bandwidth vector of length ``d``.
+
+    A scalar is broadcast to every dimension.
+    """
+    arr = np.asarray(h, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(d, float(arr))
+    if arr.shape != (d,):
+        raise DataShapeError(
+            f"bandwidth vector must have shape ({d},), got {arr.shape}"
+        )
+    if not np.isfinite(arr).all() or np.any(arr <= 0.0):
+        raise DataShapeError("bandwidths must be positive and finite")
+    return arr

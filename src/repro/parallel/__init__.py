@@ -1,0 +1,6 @@
+"""Process-pool parallel substrate (the paper's "Multicore R" analogue)."""
+
+from repro.parallel.pool import WorkerPool, available_workers, parallel_sum
+from repro.parallel.partition import balanced_blocks
+
+__all__ = ["WorkerPool", "available_workers", "balanced_blocks", "parallel_sum"]

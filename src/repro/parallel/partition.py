@@ -1,0 +1,38 @@
+"""Work partitioning for row-parallel O(n²) sweeps.
+
+The leave-one-out work per observation is identical in cost (each row
+touches all n neighbours), so a balanced partition is simply near-equal
+contiguous blocks — contiguity matters because each worker then reads its
+slice of ``x``/``y`` with unit stride (cache-friendliness idiom from the
+optimisation guide).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+__all__ = ["balanced_blocks"]
+
+
+def balanced_blocks(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` near-equal ``(start, stop)`` blocks.
+
+    The first ``total % parts`` blocks get one extra row.  Requests for
+    more parts than rows collapse to one block per row (empty blocks are
+    never returned).
+    """
+    if total < 0:
+        raise ValidationError(f"total must be non-negative, got {total}")
+    if parts <= 0:
+        raise ValidationError(f"parts must be positive, got {parts}")
+    parts = min(parts, total) or 1
+    base, extra = divmod(total, parts)
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        if size == 0:
+            continue
+        blocks.append((start, start + size))
+        start += size
+    return blocks

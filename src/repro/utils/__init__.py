@@ -1,0 +1,25 @@
+"""Shared utilities: validation, timing, and chunked iteration."""
+
+from repro.utils.chunking import chunk_slices, iter_chunks, suggest_chunk_rows
+from repro.utils.timer import Stopwatch, TimingRecord, time_callable
+from repro.utils.validation import (
+    as_float_array,
+    check_paired_samples,
+    check_positive_int,
+    check_probability,
+    ensure_bandwidths,
+)
+
+__all__ = [
+    "Stopwatch",
+    "TimingRecord",
+    "as_float_array",
+    "check_paired_samples",
+    "check_positive_int",
+    "check_probability",
+    "chunk_slices",
+    "ensure_bandwidths",
+    "iter_chunks",
+    "suggest_chunk_rows",
+    "time_callable",
+]

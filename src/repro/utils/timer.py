@@ -1,0 +1,91 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+The paper times its R programs with ``system.time`` (excluding data
+generation) and its C/CUDA programs with the shell ``time`` command
+(including data generation).  :class:`Stopwatch` gives the harness one
+mechanism for both conventions: segments can be named and summed
+selectively, so a bench can report "with" and "without" setup cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+from contextlib import contextmanager
+
+__all__ = ["Stopwatch", "TimingRecord", "time_callable"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """Result of timing one callable: value, elapsed seconds, repetitions."""
+
+    label: str
+    seconds: float
+    repetitions: int = 1
+
+    @property
+    def per_call(self) -> float:
+        """Mean seconds per repetition."""
+        return self.seconds / max(self.repetitions, 1)
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing segments.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.segment("generate"):
+    ...     data = list(range(10))
+    >>> with sw.segment("compute"):
+    ...     total = sum(data)
+    >>> sw.total() >= sw.elapsed("compute")
+    True
+    """
+
+    segments: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def segment(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulates on re-entry)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.segments[name] = self.segments.get(name, 0.0) + elapsed
+
+    def elapsed(self, name: str) -> float:
+        """Seconds accumulated under ``name`` (0.0 if never entered)."""
+        return self.segments.get(name, 0.0)
+
+    def total(self, *, exclude: tuple[str, ...] = ()) -> float:
+        """Sum of all segments, optionally excluding some by name."""
+        return sum(v for k, v in self.segments.items() if k not in exclude)
+
+
+def time_callable(
+    func: Callable[[], T],
+    *,
+    label: str = "call",
+    repetitions: int = 1,
+) -> tuple[T, TimingRecord]:
+    """Run ``func`` ``repetitions`` times, return last value and timing.
+
+    The paper runs each (program, n, k) combination five times back to back
+    to keep system-load conditions comparable; the harness uses this helper
+    with ``repetitions=5`` for the same protocol.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    start = time.perf_counter()
+    value: T
+    for _ in range(repetitions):
+        value = func()
+    seconds = time.perf_counter() - start
+    return value, TimingRecord(label=label, seconds=seconds, repetitions=repetitions)

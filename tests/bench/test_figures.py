@@ -1,0 +1,50 @@
+"""Tests for the Figure 1 regeneration and ASCII chart."""
+
+import pytest
+
+from repro.bench.figures import ascii_chart, run_figure1
+
+
+@pytest.fixture(scope="module")
+def tiny_figure():
+    return run_figure1(sizes=(50, 150), programs=("sequential-c", "cuda-gpu"), k=6)
+
+
+class TestFigure1:
+    def test_series_cover_all_programs_and_sizes(self, tiny_figure):
+        series = tiny_figure.series
+        assert set(series) == {"sequential-c", "cuda-gpu"}
+        for pts in series.values():
+            assert [n for n, _ in pts] == [50, 150]
+
+    def test_measured_and_modeled_series_distinct(self, tiny_figure):
+        modeled = tiny_figure.series["cuda-gpu"]
+        measured = tiny_figure.measured_series["cuda-gpu"]
+        assert modeled != measured
+
+    def test_to_text_contains_chart_and_series(self, tiny_figure):
+        text = tiny_figure.to_text()
+        assert "FIG. 1" in text
+        assert "log-log" in text
+        assert "[C] sequential-c" in text
+        assert "[G] cuda-gpu" in text
+
+
+class TestAsciiChart:
+    def test_empty_series_handled(self):
+        assert "no positive data" in ascii_chart({})
+
+    def test_markers_present(self):
+        chart = ascii_chart(
+            {"sequential-c": [(100, 0.1), (1000, 1.0)],
+             "cuda-gpu": [(100, 0.2), (1000, 0.5)]}
+        )
+        assert "C" in chart and "G" in chart
+
+    def test_single_point_no_crash(self):
+        chart = ascii_chart({"cuda-gpu": [(100, 0.5)]})
+        assert "G" in chart
+
+    def test_nonpositive_values_skipped(self):
+        chart = ascii_chart({"sequential-c": [(100, 0.0)], "cuda-gpu": [(10, 1.0)]})
+        assert "G" in chart and "C" not in chart.splitlines()[0]

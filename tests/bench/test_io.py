@@ -1,0 +1,107 @@
+"""Tests for the bench result writers."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import run_table1, run_table2
+from repro.bench.io import (
+    table1_rows,
+    table2_rows,
+    write_results_json,
+    write_table1_csv,
+    write_table2_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_table1():
+    return run_table1(sizes=(60,), programs=("sequential-c",), k=5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_table2():
+    return run_table2(bandwidth_counts=(5, 100), sizes=(60,), seed=0)
+
+
+class TestRowFlattening:
+    def test_table1_row_fields(self, tiny_table1):
+        rows = table1_rows(tiny_table1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["n"] == 60
+        assert row["program"] == "sequential-c"
+        assert row["measured_seconds"] > 0
+        assert row["modeled_paper_machine_seconds"] > 0
+        assert row["selected_bandwidth"] > 0
+
+    def test_table2_rows_include_blanks(self, tiny_table2):
+        rows = table2_rows(tiny_table2)
+        by_k = {r["bandwidths"]: r for r in rows}
+        assert by_k[5]["sequential_seconds"] > 0
+        assert by_k[100]["sequential_seconds"] is None  # k > n
+
+
+class TestCsvWriters:
+    def test_table1_csv_roundtrip(self, tiny_table1, tmp_path):
+        path = write_table1_csv(tiny_table1, tmp_path / "t1.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["program"] == "sequential-c"
+        assert float(rows[0]["measured_seconds"]) > 0
+
+    def test_table2_csv_roundtrip(self, tiny_table2, tmp_path):
+        path = write_table2_csv(tiny_table2, tmp_path / "t2.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+
+    def test_nested_directory_created(self, tiny_table1, tmp_path):
+        path = write_table1_csv(tiny_table1, tmp_path / "a" / "b" / "t.csv")
+        assert path.exists()
+
+
+class TestJsonWriter:
+    def test_bundle(self, tiny_table1, tiny_table2, tmp_path):
+        path = write_results_json(
+            tmp_path / "out.json",
+            table1=tiny_table1,
+            table2=tiny_table2,
+            shape_report="SHAPE REPORT (stub)",
+            metadata={"machine": "test"},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["machine"] == "test"
+        assert payload["table1"][0]["program"] == "sequential-c"
+        assert len(payload["table2"]) == 2
+        assert "SHAPE" in payload["shape_report"]
+
+    def test_partial_bundle(self, tmp_path):
+        path = write_results_json(tmp_path / "partial.json", metadata={"k": 1})
+        payload = json.loads(path.read_text())
+        assert "table1" not in payload
+
+
+class TestCliOutput:
+    def test_table1_output_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "table1", "--sizes", "60", "--k", "5",
+            "--programs", "sequential-c",
+            "--output", str(tmp_path / "artifacts"),
+        ])
+        assert code == 0
+        assert (tmp_path / "artifacts" / "table1.csv").exists()
+        assert (tmp_path / "artifacts" / "table1.json").exists()
+
+    def test_table2_output_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "table2", "--sizes", "60", "--bandwidths", "5",
+            "--output", str(tmp_path / "artifacts"),
+        ])
+        assert code == 0
+        assert (tmp_path / "artifacts" / "table2.csv").exists()

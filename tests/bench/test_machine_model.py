@@ -1,0 +1,86 @@
+"""Tests for the paper-machine run-time models and their calibration."""
+
+import pytest
+
+from repro.bench.machine_model import (
+    MODELED_PROGRAMS,
+    model_cuda_gpu,
+    model_multicore_r,
+    model_program,
+    model_racine_hayfield,
+    model_sequential_c,
+)
+from repro.bench.paper_data import PAPER_TABLE1, PAPER_TABLE2_SEQUENTIAL
+from repro.exceptions import ValidationError
+
+
+class TestCalibrationAgainstPaper:
+    @pytest.mark.parametrize("n", [5000, 10000, 20000])
+    def test_sequential_c_within_15_percent(self, n):
+        assert model_sequential_c(n, 50) == pytest.approx(
+            PAPER_TABLE1[n]["sequential-c"], rel=0.15
+        )
+
+    @pytest.mark.parametrize("n", [5000, 10000, 20000])
+    def test_racine_hayfield_within_20_percent(self, n):
+        assert model_racine_hayfield(n, 50) == pytest.approx(
+            PAPER_TABLE1[n]["racine-hayfield"], rel=0.20
+        )
+
+    @pytest.mark.parametrize("n", [5000, 10000, 20000])
+    def test_multicore_r_within_35_percent(self, n):
+        assert model_multicore_r(n, 50) == pytest.approx(
+            PAPER_TABLE1[n]["multicore-r"], rel=0.35
+        )
+
+    def test_multicore_floor_at_small_n(self):
+        # Table I: ~1.4 s at n <= 1,000 regardless of n.
+        assert model_multicore_r(100, 50) == pytest.approx(1.43, abs=0.15)
+
+    def test_sequential_k_growth_mirrors_table2(self):
+        # Paper: 80.24 (k=5) -> 84.11 (k=2000) at n=20,000 — under 5%.
+        lo = model_sequential_c(20_000, 5)
+        hi = model_sequential_c(20_000, 2000)
+        assert hi > lo
+        assert hi / lo < 1.06
+        paper_ratio = (
+            PAPER_TABLE2_SEQUENTIAL[2000][20000]
+            / PAPER_TABLE2_SEQUENTIAL[5][20000]
+        )
+        assert hi / lo == pytest.approx(paper_ratio, abs=0.05)
+
+
+class TestOrderingAndCrossovers:
+    def test_full_table1_ordering_at_20000(self):
+        times = [model_program(p, 20_000, 50) for p in (
+            "racine-hayfield", "multicore-r", "sequential-c", "cuda-gpu")]
+        assert times == sorted(times, reverse=True)
+
+    def test_cuda_beats_sequential_only_at_scale(self):
+        # Paper: crossover near n = 1,000.
+        assert model_cuda_gpu(500, 50) > model_sequential_c(500, 50)
+        assert model_cuda_gpu(5000, 50) < model_sequential_c(5000, 50)
+
+    def test_multicore_beats_serial_r_only_at_scale(self):
+        assert model_multicore_r(100, 50) > model_racine_hayfield(100, 50)
+        assert model_multicore_r(5000, 50) < model_racine_hayfield(5000, 50)
+
+    def test_headline_speedup_near_7x(self):
+        speedup = model_racine_hayfield(20_000) / model_cuda_gpu(20_000)
+        assert speedup == pytest.approx(7.2, rel=0.15)
+
+
+class TestInterface:
+    def test_model_program_dispatch(self):
+        for name in MODELED_PROGRAMS:
+            assert model_program(name, 1000, 50) > 0.0
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ValidationError):
+            model_program("rule-of-thumb", 100)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            model_sequential_c(1, 50)
+        with pytest.raises(ValidationError):
+            model_racine_hayfield(100, 0)

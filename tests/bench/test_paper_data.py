@@ -1,0 +1,68 @@
+"""Sanity tests over the transcribed paper tables."""
+
+import pytest
+
+from repro.bench.paper_data import (
+    PAPER_HEADLINE_SPEEDUP,
+    PAPER_PROGRAMS,
+    PAPER_TABLE1,
+    PAPER_TABLE2_CUDA,
+    PAPER_TABLE2_SEQUENTIAL,
+    paper_speedup,
+)
+
+
+class TestTable1:
+    def test_all_rows_have_all_programs(self):
+        for n, row in PAPER_TABLE1.items():
+            assert set(row) == set(PAPER_PROGRAMS), n
+
+    def test_headline_speedup_value(self):
+        assert PAPER_HEADLINE_SPEEDUP == pytest.approx(232.51 / 32.49)
+        assert paper_speedup(20000) == pytest.approx(7.156, abs=0.01)
+
+    def test_each_program_monotone_in_n_at_scale(self):
+        sizes = [1000, 5000, 10000, 20000]
+        for prog in PAPER_PROGRAMS:
+            times = [PAPER_TABLE1[n][prog] for n in sizes]
+            assert times == sorted(times), prog
+
+    def test_gpu_wins_at_largest_n(self):
+        row = PAPER_TABLE1[20000]
+        assert row["cuda-gpu"] == min(row.values())
+
+    def test_crossovers_around_1000(self):
+        # Below 1,000 the sequential C beats the GPU; above, it loses.
+        assert PAPER_TABLE1[500]["sequential-c"] < PAPER_TABLE1[500]["cuda-gpu"]
+        assert PAPER_TABLE1[5000]["sequential-c"] > PAPER_TABLE1[5000]["cuda-gpu"]
+
+
+class TestTable2:
+    def test_blank_cells_exactly_where_k_exceeds_n(self):
+        for table in (PAPER_TABLE2_SEQUENTIAL, PAPER_TABLE2_CUDA):
+            for k, row in table.items():
+                for n, v in row.items():
+                    if k > n:
+                        assert v is None, (k, n)
+                    else:
+                        assert v is not None, (k, n)
+
+    def test_k50_column_consistent_with_table1(self):
+        # Table II at k=50 must agree with Table I (the correction that
+        # pins Table I's "2,000" row to n=5,000 rests on this).
+        for n in (1000, 5000, 10000, 20000):
+            assert PAPER_TABLE2_SEQUENTIAL[50][n] == pytest.approx(
+                PAPER_TABLE1[n]["sequential-c"], abs=0.05
+            )
+            assert PAPER_TABLE2_CUDA[50][n] == pytest.approx(
+                PAPER_TABLE1[n]["cuda-gpu"], abs=0.05
+            )
+
+    def test_sequential_k_growth_under_5_percent_at_20000(self):
+        # §V: "the run time increases by less than 5%" (k=5 -> 2,000).
+        ratio = PAPER_TABLE2_SEQUENTIAL[2000][20000] / PAPER_TABLE2_SEQUENTIAL[5][20000]
+        assert ratio < 1.05
+
+    def test_cuda_k_growth_small_at_20000(self):
+        ratio = PAPER_TABLE2_CUDA[2000][20000] / PAPER_TABLE2_CUDA[5][20000]
+        assert ratio < 1.08

@@ -1,0 +1,65 @@
+"""Tests for the uniform program runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench.programs import PROGRAMS, run_program
+from repro.data import paper_dgp
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return paper_dgp(120, seed=6)
+
+
+class TestProgramRegistry:
+    def test_all_paper_programs_present(self):
+        assert {"racine-hayfield", "multicore-r", "sequential-c",
+                "cuda-gpu", "rule-of-thumb"} <= set(PROGRAMS)
+
+    def test_descriptions_reference_paper_roles(self):
+        assert "program 1" in PROGRAMS["racine-hayfield"].description
+        assert "program 4" in PROGRAMS["cuda-gpu"].description
+
+
+class TestRunProgram:
+    def test_unknown_program_rejected(self, sample):
+        with pytest.raises(ValidationError, match="unknown program"):
+            run_program("fortran-77", sample.x, sample.y)
+
+    def test_sequential_c_run(self, sample):
+        run = run_program("sequential-c", sample.x, sample.y, k=10)
+        assert run.program == "sequential-c"
+        assert run.n == sample.n and run.k == 10
+        assert run.seconds > 0
+        assert run.simulated_seconds is None
+        assert run.reported_seconds == run.seconds
+
+    def test_cuda_gpu_reports_simulated_time(self, sample):
+        run = run_program("cuda-gpu", sample.x, sample.y, k=10)
+        assert run.simulated_seconds is not None
+        assert run.reported_seconds == run.simulated_seconds
+
+    def test_rule_of_thumb_run(self, sample):
+        run = run_program("rule-of-thumb", sample.x, sample.y)
+        assert run.result.method == "rule-of-thumb"
+
+    def test_numeric_programs_share_objective(self, sample):
+        serial = run_program(
+            "racine-hayfield", sample.x, sample.y, n_restarts=1, seed=4, maxiter=40
+        )
+        parallel = run_program(
+            "multicore-r", sample.x, sample.y, n_restarts=1, seed=4,
+            maxiter=40, workers=2,
+        )
+        assert serial.result.bandwidth == pytest.approx(
+            parallel.result.bandwidth, rel=1e-6
+        )
+
+    def test_grid_programs_agree_on_optimum(self, sample):
+        seq = run_program("sequential-c", sample.x, sample.y, k=12)
+        gpu = run_program("cuda-gpu", sample.x, sample.y, k=12)
+        assert seq.result.bandwidth == pytest.approx(
+            gpu.result.bandwidth, rel=1e-5
+        )

@@ -1,0 +1,123 @@
+"""Tests for the shape-claim checks."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import (
+    ShapeCheck,
+    check_large_n_ordering,
+    find_crossover,
+    headline_speedup,
+    k_growth_ratio,
+    shape_report,
+)
+from repro.bench.tables import Table1Result, Table2Result
+
+
+def _table1(measured=None, modeled=None):
+    sizes = (100, 1000)
+    programs = ("racine-hayfield", "multicore-r", "sequential-c", "cuda-gpu")
+    t = Table1Result(sizes=sizes, programs=programs)
+    t.measured = measured or {
+        100: {"racine-hayfield": 0.05, "multicore-r": 0.5,
+              "sequential-c": 0.01, "cuda-gpu": 0.02},
+        1000: {"racine-hayfield": 3.0, "multicore-r": 1.2,
+               "sequential-c": 0.1, "cuda-gpu": 0.08},
+    }
+    t.modeled = modeled or {
+        100: {"racine-hayfield": 0.41, "multicore-r": 1.40,
+              "sequential-c": 0.05, "cuda-gpu": 0.09},
+        1000: {"racine-hayfield": 0.98, "multicore-r": 1.71,
+               "sequential-c": 0.20, "cuda-gpu": 0.15},
+    }
+    return t
+
+
+def _table2():
+    t = Table2Result(bandwidth_counts=(5, 100), sizes=(100, 1000))
+    t.sequential = {5: {100: 0.01, 1000: 0.20}, 100: {100: 0.011, 1000: 0.21}}
+    t.cuda = {5: {100: 0.09, 1000: 0.15}, 100: {100: 0.09, 1000: 0.152}}
+    return t
+
+
+class TestOrdering:
+    def test_pass_when_ordered(self):
+        check = check_large_n_ordering(_table1(), which="measured")
+        assert check.passed
+
+    def test_fail_when_misordered(self):
+        t = _table1()
+        t.measured[1000]["cuda-gpu"] = 99.0
+        check = check_large_n_ordering(t, which="measured")
+        assert not check.passed
+
+    def test_missing_programs_skipped(self):
+        t = _table1()
+        check = check_large_n_ordering(
+            t, order=("racine-hayfield", "sequential-c"), which="modeled"
+        )
+        assert check.passed
+
+
+class TestCrossover:
+    def test_found_crossover(self):
+        n, check = find_crossover(_table1(), "sequential-c", "cuda-gpu",
+                                  which="modeled")
+        assert n == 1000
+        assert check.passed
+
+    def test_no_crossover_fails(self):
+        t = _table1()
+        t.modeled[100]["cuda-gpu"] = 10.0
+        t.modeled[1000]["cuda-gpu"] = 10.0
+        n, check = find_crossover(t, "sequential-c", "cuda-gpu", which="modeled")
+        assert n is None
+        assert not check.passed
+
+
+class TestHeadline:
+    def test_speedup_computed_at_largest_n(self):
+        factor, check = headline_speedup(_table1(), which="modeled")
+        assert factor == pytest.approx(0.98 / 0.15, rel=1e-6)
+        assert check.passed
+
+    def test_below_2x_fails(self):
+        t = _table1()
+        t.modeled[1000]["cuda-gpu"] = 0.90
+        _, check = headline_speedup(t, which="modeled")
+        assert not check.passed
+
+
+class TestKGrowth:
+    def test_flat_growth_passes(self):
+        for panel in ("sequential", "cuda"):
+            ratio, check = k_growth_ratio(_table2(), panel=panel)
+            assert ratio < 1.1
+            assert check.passed
+
+    def test_steep_growth_fails(self):
+        t = _table2()
+        t.sequential[100][1000] = 5.0
+        _, check = k_growth_ratio(t, panel="sequential")
+        assert not check.passed
+
+    def test_insufficient_cells(self):
+        t = Table2Result(bandwidth_counts=(5,), sizes=(100,))
+        t.sequential = {5: {100: 0.01}}
+        _, check = k_growth_ratio(t)
+        assert not check.passed
+
+
+class TestReport:
+    def test_full_report_text(self):
+        report = shape_report(_table1(), _table2())
+        assert "SHAPE REPORT" in report
+        assert report.count("PASS") >= 5
+
+    def test_report_without_table2(self):
+        report = shape_report(_table1())
+        assert "near-flat" not in report
+
+    def test_shapecheck_str(self):
+        c = ShapeCheck(claim="x", passed=False, detail="d")
+        assert str(c) == "[FAIL] x: d"

@@ -1,0 +1,25 @@
+"""Tests for machine metadata capture."""
+
+from repro.bench import machine_info
+
+
+class TestMachineInfo:
+    def test_required_fields_present(self):
+        info = machine_info()
+        for key in ("platform", "cpu_count", "python", "numpy", "scipy"):
+            assert key in info, key
+
+    def test_cpu_count_positive(self):
+        assert machine_info()["cpu_count"] >= 1
+
+    def test_json_serialisable(self):
+        import json
+
+        assert json.loads(json.dumps(machine_info()))
+
+    def test_linux_extras_when_available(self):
+        import os
+
+        info = machine_info()
+        if os.path.exists("/proc/meminfo"):
+            assert info.get("mem_total_kb", 0) > 0

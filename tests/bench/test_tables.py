@@ -1,0 +1,92 @@
+"""Tests for the Table I / Table II regeneration harness (tiny sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import (
+    PAPER_BANDWIDTH_COUNTS,
+    PAPER_SIZES,
+    default_sizes,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_table1():
+    return run_table1(
+        sizes=(50, 150),
+        programs=("sequential-c", "cuda-gpu"),
+        k=8,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_table2():
+    return run_table2(bandwidth_counts=(5, 20, 100), sizes=(60, 150), seed=0)
+
+
+class TestDefaults:
+    def test_paper_sizes_match_corrected_table(self):
+        assert PAPER_SIZES == (50, 100, 500, 1000, 5000, 10000, 20000)
+        assert PAPER_BANDWIDTH_COUNTS == (5, 10, 50, 100, 500, 1000, 2000)
+
+    def test_quick_sizes_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert max(default_sizes()) <= 2000
+
+    def test_full_sizes_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert default_sizes() == PAPER_SIZES
+
+    def test_explicit_full_argument(self):
+        assert default_sizes(full=True) == PAPER_SIZES
+
+
+class TestTable1Harness:
+    def test_measured_and_modeled_rows_populated(self, tiny_table1):
+        for n in (50, 150):
+            assert set(tiny_table1.measured[n]) == {"sequential-c", "cuda-gpu"}
+            assert set(tiny_table1.modeled[n]) == {"sequential-c", "cuda-gpu"}
+            for v in tiny_table1.measured[n].values():
+                assert v > 0
+
+    def test_grid_capped_at_n(self):
+        table = run_table1(sizes=(5,), programs=("sequential-c",), k=50, seed=0)
+        run = table.runs[(5, "sequential-c")]
+        assert run.k == 5  # "never exceeding the number of observations"
+
+    def test_speedup_accessor(self, tiny_table1):
+        s = tiny_table1.speedup(150, "sequential-c", "cuda-gpu", which="modeled")
+        assert s > 0
+
+    def test_to_text_contains_both_blocks(self, tiny_table1):
+        text = tiny_table1.to_text()
+        assert "MEASURED" in text
+        assert "MODELED" in text
+        assert "sequential-c" in text
+
+    def test_runs_store_selection_results(self, tiny_table1):
+        run = tiny_table1.runs[(150, "sequential-c")]
+        assert run.result.bandwidth > 0
+
+
+class TestTable2Harness:
+    def test_k_exceeding_n_left_blank(self, tiny_table2):
+        assert tiny_table2.sequential[100][60] is None
+        assert tiny_table2.cuda[100][60] is None
+
+    def test_valid_cells_positive(self, tiny_table2):
+        assert tiny_table2.sequential[5][150] > 0
+        assert tiny_table2.cuda[5][150] > 0
+
+    def test_panel_b_uses_simulated_time(self, tiny_table2):
+        # The modelled Tesla floor is ~0.09 s, far above any measured
+        # wall time at n=150 — a cheap fingerprint of the right column.
+        assert tiny_table2.cuda[5][150] >= 0.09
+
+    def test_to_text_renders_both_panels(self, tiny_table2):
+        text = tiny_table2.to_text()
+        assert "PANEL A" in text and "PANEL B" in text
+        assert "(paper)" in text

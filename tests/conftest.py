@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import BandwidthGrid
+from repro.data import paper_dgp
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide seeded generator for ad-hoc draws."""
+    return np.random.default_rng(20170529)
+
+
+@pytest.fixture(scope="session")
+def paper_sample_small():
+    """A small paper-DGP sample (n=60) for exact/slow reference paths."""
+    return paper_dgp(60, seed=101)
+
+
+@pytest.fixture(scope="session")
+def paper_sample_medium():
+    """A medium paper-DGP sample (n=400) for vectorised paths."""
+    return paper_dgp(400, seed=202)
+
+
+@pytest.fixture(scope="session")
+def small_grid(paper_sample_small) -> BandwidthGrid:
+    """Paper-default grid (k=8) over the small sample."""
+    return BandwidthGrid.for_sample(paper_sample_small.x, 8)
+
+
+@pytest.fixture(scope="session")
+def medium_grid(paper_sample_medium) -> BandwidthGrid:
+    """Paper-default grid (k=25) over the medium sample."""
+    return BandwidthGrid.for_sample(paper_sample_medium.x, 25)

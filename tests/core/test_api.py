@@ -1,0 +1,75 @@
+"""Tests for the select_bandwidth convenience front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import BandwidthGrid, select_bandwidth
+from repro.exceptions import ValidationError
+
+
+class TestMethodDispatch:
+    def test_default_is_grid_search(self, paper_sample_medium):
+        s = paper_sample_medium
+        res = select_bandwidth(s.x, s.y)
+        assert res.method == "grid-search"
+        assert res.n_evaluations == 50
+
+    @pytest.mark.parametrize("alias", ["grid", "grid-search", "fast-grid"])
+    def test_grid_aliases(self, alias, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(s.x, s.y, method=alias, n_bandwidths=5)
+        assert res.method == "grid-search"
+
+    @pytest.mark.parametrize("alias", ["numeric", "numerical", "np"])
+    def test_numeric_aliases(self, alias, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(
+            s.x, s.y, method=alias, n_restarts=1, maxiter=30
+        )
+        assert res.method == "numerical-optimization"
+
+    @pytest.mark.parametrize("alias", ["rot", "rule-of-thumb"])
+    def test_rot_aliases(self, alias, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(s.x, s.y, method=alias)
+        assert res.method == "rule-of-thumb"
+
+    def test_method_case_insensitive(self, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(s.x, s.y, method="GRID", n_bandwidths=5)
+        assert res.method == "grid-search"
+
+    def test_unknown_method_rejected(self, paper_sample_small):
+        s = paper_sample_small
+        with pytest.raises(ValidationError, match="unknown method"):
+            select_bandwidth(s.x, s.y, method="magic")
+
+
+class TestOptionForwarding:
+    def test_explicit_grid_used(self, paper_sample_small):
+        s = paper_sample_small
+        grid = BandwidthGrid(np.array([0.2, 0.4]))
+        res = select_bandwidth(s.x, s.y, grid=grid)
+        assert res.bandwidth in grid.values
+
+    def test_kernel_forwarded(self, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(s.x, s.y, kernel="triangular", n_bandwidths=5)
+        assert res.kernel == "triangular"
+
+    def test_backend_forwarded(self, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(s.x, s.y, backend="python", n_bandwidths=5)
+        assert res.backend == "python"
+
+    def test_refine_rounds_forwarded(self, paper_sample_small):
+        s = paper_sample_small
+        res = select_bandwidth(s.x, s.y, n_bandwidths=8, refine_rounds=1)
+        assert res.n_evaluations == 16
+
+    def test_docstring_example_runs(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, 200)
+        y = 0.5 * x + 10 * x**2 + rng.uniform(0, 0.5, 200)
+        res = select_bandwidth(x, y, n_bandwidths=50)
+        assert 0 < res.bandwidth <= 1.0

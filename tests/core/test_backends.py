@@ -1,0 +1,81 @@
+"""Tests for the grid-backend registry and dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BACKEND_REGISTRY,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.exceptions import BackendError
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self):
+        names = set(list_backends())
+        assert {"python", "numpy", "multicore"} <= names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("fortran")
+
+    def test_gpusim_lazily_registered(self):
+        backend = get_backend("gpusim")
+        assert callable(backend)
+        assert "gpusim" in list_backends()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend("numpy", lambda *a, **k: None)
+
+    def test_register_and_overwrite_custom(self):
+        sentinel = lambda *a, **k: np.zeros(1)  # noqa: E731
+        try:
+            register_backend("custom-test", sentinel)
+            assert get_backend("custom-test") is sentinel
+            replacement = lambda *a, **k: np.ones(1)  # noqa: E731
+            register_backend("custom-test", replacement, overwrite=True)
+            assert get_backend("custom-test") is replacement
+        finally:
+            BACKEND_REGISTRY.pop("custom-test", None)
+
+
+class TestDispatchSemantics:
+    def test_all_backends_agree(self, paper_sample_small, small_grid):
+        s = paper_sample_small
+        reference = None
+        for name in ("python", "numpy", "multicore"):
+            backend = get_backend(name)
+            scores = backend(s.x, s.y, small_grid.values, "epanechnikov")
+            if reference is None:
+                reference = scores
+            else:
+                np.testing.assert_allclose(scores, reference, rtol=1e-8)
+
+    def test_numpy_backend_dense_fallback_for_gaussian(
+        self, paper_sample_small, small_grid
+    ):
+        backend = get_backend("numpy")
+        s = paper_sample_small
+        scores = backend(s.x, s.y, small_grid.values, "gaussian")
+        assert np.isfinite(scores).all()
+
+    def test_multicore_backend_dense_fallback_for_cosine(
+        self, paper_sample_small, small_grid
+    ):
+        backend = get_backend("multicore")
+        s = paper_sample_small
+        scores = backend(s.x, s.y, small_grid.values, "cosine", workers=2)
+        assert np.isfinite(scores).all()
+
+    def test_multicore_accepts_external_pool(self, paper_sample_small, small_grid):
+        from repro.parallel import WorkerPool
+
+        backend = get_backend("multicore")
+        s = paper_sample_small
+        with WorkerPool(2) as pool:
+            a = backend(s.x, s.y, small_grid.values, "epanechnikov", pool=pool)
+            b = backend(s.x, s.y, small_grid.values, "epanechnikov", pool=pool)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,115 @@
+"""Unit tests for BandwidthGrid."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import (
+    MAX_CONSTANT_MEMORY_BANDWIDTHS,
+    BandwidthGrid,
+    default_grid,
+)
+from repro.exceptions import BandwidthGridError
+
+
+class TestConstruction:
+    def test_direct_values(self):
+        g = BandwidthGrid(np.array([0.1, 0.2, 0.3]))
+        assert len(g) == 3
+        assert g.minimum == 0.1 and g.maximum == pytest.approx(0.3)
+
+    def test_direct_values_validated(self):
+        with pytest.raises(BandwidthGridError):
+            BandwidthGrid(np.array([0.3, 0.2]))
+
+    def test_evenly_spaced(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 1.0, 10)
+        assert len(g) == 10
+        assert g.spacing == pytest.approx(0.1)
+
+    def test_evenly_spaced_single_point(self):
+        g = BandwidthGrid.evenly_spaced(0.5, 1.0, 1)
+        np.testing.assert_array_equal(g.values, [1.0])
+
+    def test_evenly_spaced_rejects_bad_range(self):
+        with pytest.raises(BandwidthGridError):
+            BandwidthGrid.evenly_spaced(1.0, 0.5, 5)
+        with pytest.raises(BandwidthGridError):
+            BandwidthGrid.evenly_spaced(0.0, 1.0, 5)
+
+    def test_equal_min_max_with_k_gt_1_rejected(self):
+        with pytest.raises(BandwidthGridError, match="duplicate"):
+            BandwidthGrid.evenly_spaced(0.5, 0.5, 3)
+
+
+class TestPaperDefault:
+    """§IV: max = domain of X, min = domain / k, evenly spaced."""
+
+    def test_unit_domain_gives_j_over_k(self):
+        x = np.array([0.0, 0.3, 1.0])
+        g = BandwidthGrid.for_sample(x, 4)
+        np.testing.assert_allclose(g.values, [0.25, 0.5, 0.75, 1.0])
+
+    def test_domain_scales_grid(self):
+        x = np.array([2.0, 4.0])
+        g = BandwidthGrid.for_sample(x, 2)
+        np.testing.assert_allclose(g.values, [1.0, 2.0])
+
+    def test_zero_domain_rejected(self):
+        with pytest.raises(BandwidthGridError, match="zero domain"):
+            BandwidthGrid.for_sample(np.array([1.0, 1.0, 1.0]), 5)
+
+    def test_default_grid_k50(self):
+        x = np.linspace(0, 1, 100)
+        assert len(default_grid(x)) == 50
+
+
+class TestProtocol:
+    def test_iteration_and_indexing(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 0.3, 3)
+        assert list(g) == pytest.approx([0.1, 0.2, 0.3])
+        assert g[1] == pytest.approx(0.2)
+
+    def test_constant_memory_check(self):
+        small = BandwidthGrid.evenly_spaced(0.001, 1.0, MAX_CONSTANT_MEMORY_BANDWIDTHS)
+        big = BandwidthGrid.evenly_spaced(0.001, 1.0, MAX_CONSTANT_MEMORY_BANDWIDTHS + 1)
+        assert small.fits_constant_memory()
+        assert not big.fits_constant_memory()
+
+
+class TestRefinement:
+    """§IV-A: progressively smaller ranges around the incumbent optimum."""
+
+    def test_refined_grid_brackets_h(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 1.0, 10)
+        fine = g.refine_around(0.5)
+        assert fine.minimum <= 0.5 <= fine.maximum
+        assert len(fine) == len(g)
+
+    def test_refined_range_is_narrower(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 1.0, 10)
+        fine = g.refine_around(0.5, shrink=10.0)
+        assert (fine.maximum - fine.minimum) <= (g.maximum - g.minimum) / 5.0
+
+    def test_refined_grid_stays_positive_at_lower_edge(self):
+        g = BandwidthGrid.evenly_spaced(0.01, 1.0, 50)
+        fine = g.refine_around(g.minimum)
+        assert fine.minimum > 0.0
+
+    def test_h_outside_grid_rejected(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 1.0, 10)
+        with pytest.raises(BandwidthGridError):
+            g.refine_around(2.0)
+
+    def test_shrink_must_exceed_one(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 1.0, 10)
+        with pytest.raises(BandwidthGridError):
+            g.refine_around(0.5, shrink=1.0)
+
+    def test_repeated_refinement_converges(self):
+        g = BandwidthGrid.evenly_spaced(0.1, 1.0, 10)
+        target = 0.4321
+        for _ in range(4):
+            g = g.refine_around(target)
+        # After 4 rounds of 10x shrinkage, grid spacing ~ 1e-5.
+        assert g.spacing < 1e-4
+        assert g.minimum <= target <= g.maximum

@@ -1,0 +1,66 @@
+"""Tests for SelectionResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SelectionResult
+from repro.exceptions import SelectionError
+
+
+def _result(**overrides):
+    base = dict(
+        bandwidth=0.2,
+        score=0.05,
+        method="grid-search",
+        backend="numpy",
+        kernel="epanechnikov",
+        n_observations=100,
+        bandwidths=np.array([0.1, 0.2, 0.3]),
+        scores=np.array([0.08, 0.05, 0.09]),
+        n_evaluations=3,
+        wall_seconds=0.01,
+    )
+    base.update(overrides)
+    return SelectionResult(**base)
+
+
+class TestValidation:
+    def test_valid_result_constructs(self):
+        assert _result().bandwidth == 0.2
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(SelectionError):
+            _result(bandwidth=0.0)
+
+    def test_nan_bandwidth_rejected(self):
+        with pytest.raises(SelectionError):
+            _result(bandwidth=float("nan"))
+
+
+class TestBoundaryDetection:
+    def test_interior_minimum(self):
+        assert not _result().is_boundary_minimum()
+
+    def test_lower_boundary(self):
+        assert _result(bandwidth=0.1).is_boundary_minimum()
+
+    def test_upper_boundary(self):
+        assert _result(bandwidth=0.3).is_boundary_minimum()
+
+    def test_no_grid_means_no_boundary(self):
+        res = _result(bandwidths=np.empty(0), scores=np.empty(0))
+        assert not res.is_boundary_minimum()
+
+
+class TestPresentation:
+    def test_cv_curve_accessor(self):
+        res = _result()
+        bw, sc = res.cv_curve
+        np.testing.assert_array_equal(bw, [0.1, 0.2, 0.3])
+        np.testing.assert_array_equal(sc, [0.08, 0.05, 0.09])
+
+    def test_summary_mentions_key_fields(self):
+        text = _result(diagnostics={"workers": 4}).summary()
+        assert "grid-search" in text
+        assert "0.2" in text
+        assert "workers" in text

@@ -1,0 +1,74 @@
+"""Tests for the scale-factor parameterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scale import bandwidth_to_scale, robust_spread, scale_to_bandwidth
+from repro.exceptions import SelectionError, ValidationError
+
+
+class TestRobustSpread:
+    def test_normal_sample_near_sigma(self):
+        x = np.random.default_rng(0).normal(0, 2.0, 20000)
+        assert robust_spread(x) == pytest.approx(2.0, rel=0.05)
+
+    def test_outliers_do_not_blow_it_up(self):
+        rng = np.random.default_rng(1)
+        clean = rng.normal(size=1000)
+        dirty = np.concatenate([clean, [1e6]])
+        assert robust_spread(dirty) < 2.0
+
+    def test_zero_spread_rejected(self):
+        with pytest.raises(SelectionError):
+            robust_spread(np.ones(10))
+
+    def test_needs_enough_data(self):
+        with pytest.raises(ValidationError):
+            robust_spread(np.array([1.0]))
+
+
+class TestConversions:
+    def test_roundtrip(self, rng):
+        x = rng.uniform(0, 1, 500)
+        for h in (0.01, 0.2, 1.5):
+            scale = bandwidth_to_scale(h, x)
+            assert scale_to_bandwidth(scale, x) == pytest.approx(h)
+
+    @given(h=st.floats(1e-4, 10.0), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, h, seed):
+        x = np.random.default_rng(seed).uniform(0, 1, 50)
+        assert scale_to_bandwidth(bandwidth_to_scale(h, x), x) == pytest.approx(
+            h, rel=1e-12
+        )
+
+    def test_unit_scale_is_normal_reference_rate(self):
+        x = np.random.default_rng(2).normal(0, 1.0, 10000)
+        h = scale_to_bandwidth(1.0, x)
+        assert h == pytest.approx(robust_spread(x) * 10000 ** (-0.2))
+
+    def test_dimension_adjusts_rate(self):
+        x = np.random.default_rng(3).uniform(0, 1, 1000)
+        h1 = scale_to_bandwidth(1.0, x, dimensions=1)
+        h2 = scale_to_bandwidth(1.0, x, dimensions=2)
+        assert h2 > h1  # n^{-1/6} > n^{-1/5}
+
+    def test_validation(self, rng):
+        x = rng.uniform(0, 1, 50)
+        with pytest.raises(ValidationError):
+            bandwidth_to_scale(0.0, x)
+        with pytest.raises(ValidationError):
+            scale_to_bandwidth(-1.0, x)
+        with pytest.raises(ValidationError):
+            bandwidth_to_scale(0.1, x, dimensions=0)
+
+    def test_cv_selected_scale_factor_below_rot(self):
+        # On the curved paper DGP the CV bandwidth is far below the
+        # normal-reference rate: scale factor well under 1.
+        from repro.core import GridSearchSelector
+        from repro.data import paper_dgp
+
+        s = paper_dgp(1000, seed=0)
+        res = GridSearchSelector(n_bandwidths=50).select(s.x, s.y)
+        assert bandwidth_to_scale(res.bandwidth, s.x) < 0.8

@@ -1,0 +1,137 @@
+"""Direct tests of the main device kernel (§IV-B) outside the driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.loocv import cv_score_reference
+from repro.cuda_port.main_kernel import bandwidth_main_kernel
+from repro.gpusim import launch_kernel
+from repro.kernels import get_kernel
+
+
+def _run_main_kernel(x, y, bandwidths, kernel_name="epanechnikov", block_dim=32):
+    kern = get_kernel(kernel_name)
+    n = x.shape[0]
+    k = bandwidths.shape[0]
+    P = len(kern.poly_terms)
+    x32 = x.astype(np.float32)
+    y32 = y.astype(np.float32)
+    bw32 = bandwidths.astype(np.float32)
+    absdiff = np.zeros((n, n), dtype=np.float32)
+    ymat = np.zeros((n, n), dtype=np.float32)
+    sums_d = tuple(np.zeros((n, k), dtype=np.float32) for _ in range(P))
+    sums_yd = tuple(np.zeros((n, k), dtype=np.float32) for _ in range(P))
+    sqresid = np.zeros((k, n), dtype=np.float32)
+    grid_dim = -(-n // block_dim)
+    stats = launch_kernel(
+        bandwidth_main_kernel,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        args=(
+            x32, y32, absdiff, ymat, sums_d, sums_yd, sqresid, bw32,
+            tuple(t.power for t in kern.poly_terms),
+            tuple(t.coefficient for t in kern.poly_terms),
+            kern.support_radius,
+        ),
+    )
+    return absdiff, ymat, sums_d, sums_yd, sqresid, stats
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(0, 1, 24)
+    y = rng.normal(0, 1, 24)
+    bw = np.array([0.1, 0.3, 0.6, 1.0])
+    return x, y, bw
+
+
+class TestMatrixFill:
+    def test_rows_sorted_after_kernel(self, tiny):
+        x, y, bw = tiny
+        absdiff, _, _, _, _, _ = _run_main_kernel(x, y, bw)
+        for row in absdiff:
+            assert (np.diff(row) >= 0).all()
+
+    def test_row_multiset_is_distances(self, tiny):
+        x, y, bw = tiny
+        absdiff, _, _, _, _, _ = _run_main_kernel(x, y, bw)
+        j = 7
+        expected = np.sort(np.abs(x - x[j]).astype(np.float32))
+        np.testing.assert_allclose(absdiff[j], expected, rtol=1e-6)
+
+    def test_payload_carries_matching_y(self, tiny):
+        x, y, bw = tiny
+        absdiff, ymat, _, _, _, _ = _run_main_kernel(x, y, bw)
+        j = 3
+        # Distances must be formed in float32, as the device does.
+        x32 = x.astype(np.float32)
+        d32 = np.abs(x32 - x32[j])
+        # Ties (incl. self at distance 0) can permute equal keys; compare
+        # as multisets of (distance, y) pairs.
+        got = sorted(zip(absdiff[j].tolist(), ymat[j].tolist()))
+        exp = sorted(zip(d32.tolist(), y.astype(np.float32).tolist()))
+        assert got == exp
+
+
+class TestWindowSums:
+    def test_sums_monotone_in_bandwidth(self, tiny):
+        x, y, bw = tiny
+        _, _, sums_d, _, _, _ = _run_main_kernel(x, y, bw)
+        # Power-0 sums (window counts) grow with the bandwidth.
+        counts = sums_d[0]
+        assert (np.diff(counts, axis=1) >= 0).all()
+
+    def test_power0_count_matches_window_size(self, tiny):
+        x, y, bw = tiny
+        _, _, sums_d, _, _, _ = _run_main_kernel(x, y, bw)
+        j, jb = 5, 2
+        expected = float((np.abs(x - x[j]) <= bw[jb]).sum())  # includes self
+        assert sums_d[0][j, jb] == pytest.approx(expected)
+
+    def test_power2_sum_matches_direct(self, tiny):
+        x, y, bw = tiny
+        _, _, sums_d, _, _, _ = _run_main_kernel(x, y, bw)
+        j, jb = 11, 3
+        d = np.abs(x - x[j])
+        expected = float((d[d <= bw[jb]] ** 2).sum())
+        assert sums_d[1][j, jb] == pytest.approx(expected, rel=1e-4)
+
+
+class TestSquaredResiduals:
+    def test_index_switch_layout(self, tiny):
+        # sqresid is (k, n): bandwidth-major, so each reduction reads a
+        # contiguous row (the §IV-B index switch).
+        x, y, bw = tiny
+        _, _, _, _, sqresid, _ = _run_main_kernel(x, y, bw)
+        assert sqresid.shape == (bw.shape[0], x.shape[0])
+
+    def test_cv_scores_match_reference(self, tiny):
+        x, y, bw = tiny
+        _, _, _, _, sqresid, _ = _run_main_kernel(x, y, bw)
+        for jb, h in enumerate(bw):
+            expected = cv_score_reference(x, y, float(h))
+            got = float(sqresid[jb].sum()) / x.shape[0]
+            assert got == pytest.approx(expected, rel=5e-4)
+
+    def test_idle_tail_threads_write_nothing(self):
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0, 1, 10)
+        y = rng.normal(0, 1, 10)
+        bw = np.array([0.5])
+        # block of 32 threads: 22 idle tail threads must not touch memory.
+        _, _, _, _, sqresid, stats = _run_main_kernel(x, y, bw, block_dim=32)
+        assert stats.threads == 32
+        assert np.isfinite(sqresid).all()
+
+    def test_ops_tally_scales_with_n(self):
+        rng = np.random.default_rng(10)
+        small_ops = None
+        for n in (16, 64):
+            x = rng.uniform(0, 1, n)
+            y = rng.normal(0, 1, n)
+            *_, stats = _run_main_kernel(x, y, np.array([0.5]), block_dim=32)
+            if small_ops is None:
+                small_ops = stats.ops
+            else:
+                assert stats.ops > 4 * small_ops

@@ -1,0 +1,84 @@
+"""Tests for the CUDA-program timing model and its calibration."""
+
+import pytest
+
+from repro.bench.paper_data import PAPER_TABLE1, PAPER_TABLE2_CUDA
+from repro.cuda_port import estimate_program_runtime
+from repro.exceptions import ValidationError
+
+
+class TestShape:
+    def test_monotone_in_n(self):
+        times = [
+            estimate_program_runtime(n, 50).total_seconds
+            for n in (100, 1000, 5000, 20000)
+        ]
+        assert times == sorted(times)
+
+    def test_superlinear_growth_at_scale(self):
+        t10 = estimate_program_runtime(10_000, 50).total_seconds
+        t20 = estimate_program_runtime(20_000, 50).total_seconds
+        assert t20 > 3.5 * t10  # ~n² log n
+
+    def test_near_flat_in_k(self):
+        # Table II panel B: "no appreciable slowdowns" in k.
+        t5 = estimate_program_runtime(20_000, 5).total_seconds
+        t2000 = estimate_program_runtime(20_000, 2000).total_seconds
+        assert t2000 < 1.10 * t5
+
+    def test_sort_phase_dominates_at_scale(self):
+        rt = estimate_program_runtime(20_000, 50)
+        sort = rt.phase("sort").seconds
+        others = rt.total_seconds - sort
+        assert sort > others
+
+    def test_fixed_overhead_floor_at_tiny_n(self):
+        rt = estimate_program_runtime(50, 5)
+        assert rt.total_seconds == pytest.approx(0.09, abs=0.02)
+
+    def test_modern_gpu_much_faster(self):
+        # The model still charges full uncoalesced transactions on the
+        # modern profile (conservative: no cache model), so the gain is
+        # bandwidth-bound — ~7x, not the raw-FLOPs ratio.
+        paper = estimate_program_runtime(20_000, 50).total_seconds
+        modern = estimate_program_runtime(
+            20_000, 50, device="modern-gpu"
+        ).total_seconds
+        assert modern < paper / 4.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_program_runtime(0, 50)
+        with pytest.raises(ValidationError):
+            estimate_program_runtime(100, 0)
+
+
+class TestCalibration:
+    """The model must land near the paper's CUDA measurements."""
+
+    @pytest.mark.parametrize("n", [5000, 10000, 20000])
+    def test_within_25_percent_of_table1_at_scale(self, n):
+        paper = PAPER_TABLE1[n]["cuda-gpu"]
+        model = estimate_program_runtime(n, 50).total_seconds
+        assert model == pytest.approx(paper, rel=0.25)
+
+    @pytest.mark.parametrize("n", [50, 100, 500, 1000])
+    def test_within_factor_two_at_small_n(self, n):
+        paper = PAPER_TABLE1[n]["cuda-gpu"]
+        model = estimate_program_runtime(n, 50).total_seconds
+        assert paper / 2.0 <= model <= paper * 2.0
+
+    def test_k_growth_direction_matches_table2(self):
+        # Paper: 31.83 (k=5) -> 34.21 (k=2000) at n=20,000.
+        t5 = estimate_program_runtime(20_000, 5).total_seconds
+        t2000 = estimate_program_runtime(20_000, 2000).total_seconds
+        assert t2000 > t5
+        paper_ratio = PAPER_TABLE2_CUDA[2000][20000] / PAPER_TABLE2_CUDA[5][20000]
+        model_ratio = t2000 / t5
+        assert model_ratio == pytest.approx(paper_ratio, abs=0.08)
+
+    def test_headline_speedup_reproduced(self):
+        # 232.51 / modelled CUDA time ~ paper's 7.2x.
+        model = estimate_program_runtime(20_000, 50).total_seconds
+        speedup = PAPER_TABLE1[20_000]["racine-hayfield"] / model
+        assert speedup == pytest.approx(7.2, rel=0.2)

@@ -1,0 +1,73 @@
+"""Unit tests for the density samplers (KDE extension workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DENSITY_REGISTRY,
+    bimodal_normal_sample,
+    claw_sample,
+    sample_density,
+    skewed_sample,
+    uniform_sample,
+)
+from repro.exceptions import ValidationError
+
+_TRAPEZOID = getattr(np, "trapezoid", None) or np.trapz
+
+
+@pytest.mark.parametrize("name", sorted(DENSITY_REGISTRY))
+class TestDensityContract:
+    def test_sample_shape_and_finiteness(self, name):
+        s = sample_density(name, 300, seed=0)
+        assert s.x.shape == (300,)
+        assert np.isfinite(s.x).all()
+
+    def test_pdf_nonnegative(self, name):
+        s = sample_density(name, 50, seed=1)
+        pts = np.linspace(s.x.min() - 1, s.x.max() + 1, 200)
+        assert (s.true_density(pts) >= 0.0).all()
+
+    def test_pdf_integrates_to_one(self, name):
+        s = sample_density(name, 50, seed=2)
+        pts = np.linspace(-12.0, 12.0, 20001)
+        mass = float(_TRAPEZOID(s.true_density(pts), pts))
+        assert mass == pytest.approx(1.0, abs=2e-3)
+
+    def test_reproducible(self, name):
+        a = sample_density(name, 40, seed=5)
+        b = sample_density(name, 40, seed=5)
+        np.testing.assert_array_equal(a.x, b.x)
+
+
+class TestSpecificDensities:
+    def test_uniform_support(self):
+        s = uniform_sample(2000, seed=0)
+        assert s.x.min() >= 0.0 and s.x.max() <= 1.0
+        assert s.true_density(np.array([0.5]))[0] == 1.0
+        assert s.true_density(np.array([2.0]))[0] == 0.0
+
+    def test_bimodal_has_two_populations(self):
+        s = bimodal_normal_sample(5000, seed=1)
+        assert (s.x < 0).sum() > 1500
+        assert (s.x > 0).sum() > 1500
+
+    def test_bimodal_valley_at_zero(self):
+        s = bimodal_normal_sample(10, seed=0)
+        d = s.true_density(np.array([-1.5, 0.0, 1.5]))
+        assert d[1] < d[0] and d[1] < d[2]
+
+    def test_claw_spikes_exceed_body(self):
+        s = claw_sample(10, seed=0)
+        spike = s.true_density(np.array([0.0]))[0]
+        off = s.true_density(np.array([0.25]))[0]
+        assert spike > off
+
+    def test_skewed_is_positive_valued(self):
+        s = skewed_sample(2000, seed=2)
+        assert (s.x > 0).all()
+        assert s.true_density(np.array([-1.0]))[0] == 0.0
+
+    def test_unknown_density_rejected(self):
+        with pytest.raises(ValidationError, match="unknown density"):
+            sample_density("nope", 10)

@@ -1,0 +1,135 @@
+"""Unit tests for the regression DGPs."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DGP_REGISTRY,
+    blocks_dgp,
+    doppler_dgp,
+    generate,
+    heteroskedastic_dgp,
+    linear_dgp,
+    paper_dgp,
+    sine_dgp,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPaperDgp:
+    """The §IV experimental setup: X~U(0,1), Y = 0.5X + 10X² + U(0,0.5)."""
+
+    def test_shapes_and_name(self):
+        s = paper_dgp(100, seed=0)
+        assert s.n == 100
+        assert s.x.shape == s.y.shape == (100,)
+        assert s.name == "paper"
+
+    def test_x_in_unit_interval(self):
+        s = paper_dgp(5000, seed=1)
+        assert s.x.min() >= 0.0 and s.x.max() <= 1.0
+
+    def test_y_respects_dgp_bounds(self):
+        s = paper_dgp(5000, seed=2)
+        base = 0.5 * s.x + 10.0 * s.x**2
+        resid = s.y - base
+        assert resid.min() >= 0.0
+        assert resid.max() <= 0.5
+
+    def test_true_mean_includes_noise_mean(self):
+        s = paper_dgp(10, seed=3)
+        at = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(
+            s.true_mean(at), 0.5 * at + 10 * at**2 + 0.25
+        )
+
+    def test_reproducible_by_seed(self):
+        a = paper_dgp(50, seed=7)
+        b = paper_dgp(50, seed=7)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = paper_dgp(50, seed=7)
+        b = paper_dgp(50, seed=8)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(0)
+        s = paper_dgp(10, seed=rng)
+        assert s.n == 10
+
+    def test_float32_dtype(self):
+        s = paper_dgp(10, seed=0, dtype=np.float32)
+        assert s.x.dtype == np.float32
+
+    def test_residual_sample_mean_near_quarter(self):
+        s = paper_dgp(20000, seed=5)
+        resid = s.y - (0.5 * s.x + 10 * s.x**2)
+        assert abs(resid.mean() - 0.25) < 0.01
+
+    def test_domain_close_to_one(self):
+        s = paper_dgp(10000, seed=6)
+        assert 0.95 < s.domain() <= 1.0
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValidationError):
+            paper_dgp(0)
+
+
+class TestOtherDgps:
+    @pytest.mark.parametrize("factory", [linear_dgp, sine_dgp, doppler_dgp,
+                                         blocks_dgp, heteroskedastic_dgp])
+    def test_basic_contract(self, factory):
+        s = factory(200, seed=1)
+        assert s.x.shape == s.y.shape == (200,)
+        assert np.isfinite(s.x).all() and np.isfinite(s.y).all()
+        truth = s.true_mean()
+        assert truth.shape == (200,)
+        assert np.isfinite(truth).all()
+
+    def test_linear_mean_is_exact(self):
+        s = linear_dgp(10, slope=3.0, intercept=-1.0, seed=0)
+        at = np.array([0.0, 1.0])
+        np.testing.assert_allclose(s.true_mean(at), [-1.0, 2.0])
+
+    def test_sine_mean_periodicity(self):
+        s = sine_dgp(10, cycles=2.0, seed=0)
+        np.testing.assert_allclose(s.true_mean(np.array([0.0, 0.5, 1.0])),
+                                   [0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_blocks_mean_piecewise_constant(self):
+        s = blocks_dgp(10, seed=0)
+        left = s.true_mean(np.array([0.05, 0.10]))
+        assert left[0] == left[1]
+
+    def test_blocks_has_jump(self):
+        s = blocks_dgp(10, seed=0)
+        vals = s.true_mean(np.array([0.14, 0.16]))
+        assert vals[0] != vals[1]
+
+    def test_heteroskedastic_variance_grows(self):
+        s = heteroskedastic_dgp(20000, seed=4)
+        resid = s.y - s.true_mean()
+        lo = resid[s.x < 0.3].std()
+        hi = resid[s.x > 0.7].std()
+        assert hi > 1.5 * lo
+
+    def test_doppler_bounded(self):
+        s = doppler_dgp(100, seed=2)
+        assert np.abs(s.true_mean()).max() <= 0.55
+
+
+class TestRegistry:
+    def test_all_names_generate(self):
+        for name in DGP_REGISTRY:
+            s = generate(name, 20, seed=0)
+            assert s.n == 20
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown DGP"):
+            generate("nope", 10)
+
+    def test_kwargs_forwarded(self):
+        s = generate("linear", 10, seed=0, slope=5.0)
+        np.testing.assert_allclose(s.true_mean(np.array([1.0]))[0], 6.0)

@@ -1,0 +1,100 @@
+"""Tests for CSV sample loading/saving."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_xy_csv, paper_dgp, save_xy_csv
+from repro.exceptions import DataShapeError, ValidationError
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        s = paper_dgp(50, seed=0)
+        path = save_xy_csv(tmp_path / "sample.csv", s.x, s.y)
+        x, y = load_xy_csv(path)
+        np.testing.assert_allclose(x, s.x)
+        np.testing.assert_allclose(y, s.y)
+
+    def test_nested_directories_created(self, tmp_path):
+        s = paper_dgp(10, seed=1)
+        path = save_xy_csv(tmp_path / "a" / "b" / "s.csv", s.x, s.y)
+        assert path.exists()
+
+    def test_custom_header(self, tmp_path):
+        s = paper_dgp(10, seed=2)
+        path = save_xy_csv(tmp_path / "s.csv", s.x, s.y, header=("income", "spend"))
+        x, y = load_xy_csv(path, x_column="income", y_column="spend")
+        np.testing.assert_allclose(x, s.x)
+
+
+class TestLoading:
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("0.1,1.0\n0.2,2.0\n0.3,3.0\n")
+        x, y = load_xy_csv(path)
+        np.testing.assert_allclose(x, [0.1, 0.2, 0.3])
+        np.testing.assert_allclose(y, [1.0, 2.0, 3.0])
+
+    def test_column_selection_by_index(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("id,xval,yval\n1,0.1,5.0\n2,0.2,6.0\n3,0.3,7.0\n")
+        x, y = load_xy_csv(path, x_column=1, y_column=2)
+        np.testing.assert_allclose(x, [0.1, 0.2, 0.3])
+
+    def test_column_selection_by_name(self, tmp_path):
+        path = tmp_path / "named.csv"
+        path.write_text("xval,yval\n0.5,1.5\n0.6,1.6\n0.7,1.7\n")
+        x, y = load_xy_csv(path, x_column="xval", y_column="yval")
+        np.testing.assert_allclose(y, [1.5, 1.6, 1.7])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("0.1,1.0\n\n0.2,2.0\n\n0.3,3.0\n")
+        x, _ = load_xy_csv(path)
+        assert x.shape == (3,)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such data file"):
+            load_xy_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataShapeError):
+            load_xy_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(DataShapeError, match="no data rows"):
+            load_xy_csv(path)
+
+    def test_name_without_header_rejected(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("0.1,1.0\n0.2,2.0\n0.3,3.0\n")
+        with pytest.raises(ValidationError, match="no header"):
+            load_xy_csv(path, x_column="x")
+
+    def test_unknown_column_name_rejected(self, tmp_path):
+        path = tmp_path / "named.csv"
+        path.write_text("a,b\n1,2\n3,4\n5,6\n")
+        with pytest.raises(ValidationError, match="not in header"):
+            load_xy_csv(path, x_column="zzz")
+
+    def test_non_numeric_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0,2.0\nfoo,3.0\n4.0,5.0\n")
+        with pytest.raises(DataShapeError):
+            load_xy_csv(path)
+
+
+class TestCliIntegration:
+    def test_select_from_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        s = paper_dgp(300, seed=5)
+        path = save_xy_csv(tmp_path / "data.csv", s.x, s.y)
+        assert main(["select", "--data", str(path), "--k", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "h*" in out
+        assert "scale factor" in out

@@ -1,0 +1,95 @@
+"""Tests for the device models."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim import (
+    DEVICE_REGISTRY,
+    MODERN_GPU,
+    TESLA_S1070,
+    DeviceSpec,
+    get_device,
+    register_device,
+)
+
+
+class TestTeslaProfile:
+    """The paper's hardware: 240 streaming cores, 4 GB, CC 1.3."""
+
+    def test_core_count(self):
+        assert TESLA_S1070.total_cores == 240
+        assert TESLA_S1070.sm_count == 30
+        assert TESLA_S1070.cores_per_sm == 8
+
+    def test_memory_sizes(self):
+        assert TESLA_S1070.global_memory_bytes == 4 * 1024**3
+        assert TESLA_S1070.constant_cache_bytes == 8 * 1024
+        assert TESLA_S1070.shared_memory_per_block_bytes == 16 * 1024
+
+    def test_block_and_warp_limits(self):
+        assert TESLA_S1070.max_threads_per_block == 512
+        assert TESLA_S1070.warp_size == 32
+
+    def test_cc13_restrictions(self):
+        # Why the paper needs an *iterative* quicksort and host-side
+        # allocation of every intermediate.
+        assert not TESLA_S1070.supports_recursion
+        assert not TESLA_S1070.supports_device_malloc
+
+    def test_constant_float_cap_is_2048(self):
+        assert TESLA_S1070.max_constant_floats() == 2048
+
+    def test_throughputs_positive(self):
+        assert TESLA_S1070.ops_per_second > 0
+        assert TESLA_S1070.bytes_per_second == pytest.approx(102e9)
+
+
+class TestModernProfile:
+    def test_lifts_cc1x_restrictions(self):
+        assert MODERN_GPU.supports_recursion
+        assert MODERN_GPU.supports_device_malloc
+
+    def test_larger_memory(self):
+        assert MODERN_GPU.global_memory_bytes > TESLA_S1070.global_memory_bytes
+
+
+class TestSpecValidation:
+    def test_nonpositive_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            TESLA_S1070.with_overrides(sm_count=0)
+
+    def test_block_must_be_warp_multiple(self):
+        with pytest.raises(ValidationError):
+            TESLA_S1070.with_overrides(max_threads_per_block=500)
+
+    def test_with_overrides_copies(self):
+        bigger = TESLA_S1070.with_overrides(global_memory_bytes=8 * 1024**3)
+        assert bigger.global_memory_bytes == 8 * 1024**3
+        assert TESLA_S1070.global_memory_bytes == 4 * 1024**3
+
+
+class TestRegistry:
+    def test_default_device_is_tesla(self):
+        assert get_device() is TESLA_S1070
+
+    def test_lookup_by_name(self):
+        assert get_device("modern-gpu") is MODERN_GPU
+
+    def test_instance_passthrough(self):
+        assert get_device(MODERN_GPU) is MODERN_GPU
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError, match="unknown device"):
+            get_device("gtx-480")
+
+    def test_register_and_cleanup(self):
+        spec = TESLA_S1070.with_overrides(name="test-device")
+        try:
+            register_device(spec)
+            assert get_device("test-device") is spec
+        finally:
+            DEVICE_REGISTRY.pop("test-device", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError):
+            register_device(TESLA_S1070)

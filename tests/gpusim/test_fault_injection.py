@@ -1,0 +1,109 @@
+"""Failure-injection tests: the simulator must fail loudly and typed.
+
+Real CUDA programs die in characteristic ways — OOM mid-sequence,
+invalid launches, device faults inside kernels, divergent barriers.
+These tests drive each failure path and assert (a) the typed exception
+surfaces and (b) the simulator's state stays consistent afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeviceMemoryError,
+    DeviceStateError,
+    GpuSimError,
+    KernelExecutionError,
+    LaunchConfigurationError,
+    ReproError,
+)
+from repro.gpusim import GlobalMemory, TESLA_S1070, launch_kernel
+
+
+class TestOomMidSequence:
+    def test_partial_allocations_survive_oom(self):
+        gm = GlobalMemory()
+        a = gm.malloc((1000,), np.float32, label="a")
+        before = gm.bytes_allocated
+        with pytest.raises(DeviceMemoryError):
+            gm.malloc((60_000, 60_000), np.float32, label="huge")
+        # The failed allocation must not leak accounting.
+        assert gm.bytes_allocated == before
+        # ... and the earlier buffer is still usable.
+        a.fill(1.0)
+        assert (a.copy_to_host() == 1.0).all()
+
+    def test_free_after_oom_returns_capacity(self):
+        gm = GlobalMemory()
+        a = gm.reserve((20_000, 20_000), np.float32)
+        b = gm.reserve((20_000, 20_000), np.float32)
+        with pytest.raises(DeviceMemoryError):
+            gm.reserve((20_000, 20_000), np.float32)
+        gm.free(a)
+        # Freed capacity is immediately reusable.
+        c = gm.reserve((20_000, 20_000), np.float32)
+        assert c.nbytes_reserved == a.nbytes_reserved
+
+
+class TestKernelFaults:
+    def test_fault_reports_thread_coordinates(self):
+        def faulty(ctx):
+            if ctx.global_id == 5:
+                raise ZeroDivisionError("boom")
+
+        with pytest.raises(KernelExecutionError, match=r"\(1,1\)"):
+            launch_kernel(faulty, grid_dim=2, block_dim=4)
+
+    def test_original_exception_chained(self):
+        def faulty(ctx):
+            raise IndexError("out of range")
+
+        with pytest.raises(KernelExecutionError) as excinfo:
+            launch_kernel(faulty, grid_dim=1, block_dim=1)
+        assert isinstance(excinfo.value.__cause__, IndexError)
+
+    def test_cooperative_fault_before_first_barrier(self):
+        def faulty(ctx):
+            if ctx.thread_idx == 2:
+                raise RuntimeError("early fault")
+            yield
+
+        with pytest.raises(KernelExecutionError, match="early fault"):
+            launch_kernel(faulty, grid_dim=1, block_dim=4)
+
+
+class TestExceptionHierarchy:
+    def test_gpusim_errors_are_repro_errors(self):
+        assert issubclass(GpuSimError, ReproError)
+        assert issubclass(DeviceMemoryError, GpuSimError)
+        assert issubclass(DeviceMemoryError, MemoryError)
+        assert issubclass(LaunchConfigurationError, GpuSimError)
+        assert issubclass(DeviceStateError, GpuSimError)
+
+    def test_single_catch_all(self):
+        # A caller catching ReproError sees every library failure mode.
+        gm = GlobalMemory()
+        with pytest.raises(ReproError):
+            gm.malloc((60_000, 60_000), np.float64)
+        with pytest.raises(ReproError):
+            launch_kernel(lambda ctx: None, grid_dim=0, block_dim=1)
+
+
+class TestEndToEndFaultRecovery:
+    def test_program_usable_after_oom(self):
+        """An OOM'd program run must not poison subsequent runs."""
+        from repro.core.grid import BandwidthGrid
+        from repro.cuda_port import CudaBandwidthProgram
+        from repro.data import paper_dgp
+
+        rng = np.random.default_rng(0)
+        big_x = rng.uniform(size=25_000)
+        big_y = big_x + rng.normal(size=25_000) * 0.1
+        program = CudaBandwidthProgram(mode="fast")
+        with pytest.raises(DeviceMemoryError):
+            program.run(big_x, big_y, BandwidthGrid.for_sample(big_x, 10).values)
+
+        small = paper_dgp(200, seed=1)
+        grid = BandwidthGrid.for_sample(small.x, 10)
+        result = program.run(small.x, small.y, grid.values)
+        assert result.bandwidth > 0.0

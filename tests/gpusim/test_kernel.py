@@ -1,0 +1,124 @@
+"""Tests for the SPMD launch engine and barrier scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KernelExecutionError, LaunchConfigurationError
+from repro.gpusim import TESLA_S1070, launch_kernel
+
+
+def _fill_global_id(ctx, out):
+    out[ctx.global_id] = ctx.global_id
+
+
+class TestLaunchConfiguration:
+    def test_grid_times_block_threads(self):
+        out = np.full(8, -1.0)
+        stats = launch_kernel(_fill_global_id, grid_dim=2, block_dim=4, args=(out,))
+        assert stats.threads == 8
+        np.testing.assert_array_equal(out, np.arange(8))
+
+    def test_block_limit_enforced(self):
+        with pytest.raises(LaunchConfigurationError, match="exceeds device limit"):
+            launch_kernel(_fill_global_id, grid_dim=1, block_dim=1024,
+                          args=(np.zeros(1024),), device=TESLA_S1070)
+
+    def test_modern_device_allows_1024(self):
+        out = np.zeros(1024)
+        launch_kernel(_fill_global_id, grid_dim=1, block_dim=1024,
+                      args=(out,), device="modern-gpu")
+        assert out[-1] == 1023
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(LaunchConfigurationError):
+            launch_kernel(_fill_global_id, grid_dim=0, block_dim=4, args=(np.zeros(1),))
+
+    def test_thread_context_indices(self):
+        records = []
+
+        def probe(ctx):
+            records.append((ctx.block_idx, ctx.thread_idx, ctx.global_id,
+                            ctx.block_dim, ctx.grid_dim))
+
+        launch_kernel(probe, grid_dim=2, block_dim=3)
+        assert (1, 2, 5, 3, 2) in records
+        assert len(records) == 6
+
+
+class TestErrorPropagation:
+    def test_thread_exception_wrapped(self):
+        def boom(ctx):
+            if ctx.global_id == 3:
+                raise ValueError("device fault")
+
+        with pytest.raises(KernelExecutionError, match="device fault"):
+            launch_kernel(boom, grid_dim=1, block_dim=8)
+
+    def test_cooperative_exception_wrapped(self):
+        def boom(ctx):
+            yield
+            raise RuntimeError("after barrier")
+
+        with pytest.raises(KernelExecutionError, match="after barrier"):
+            launch_kernel(boom, grid_dim=1, block_dim=2)
+
+
+class TestBarrierSemantics:
+    def test_all_threads_reach_barrier_before_any_proceeds(self):
+        n = 8
+        stage = np.zeros(n)
+
+        def kernel(ctx, stage):
+            stage[ctx.thread_idx] = 1.0
+            yield  # barrier
+            # After the barrier, every thread must observe every write.
+            assert stage.sum() == n
+            ctx.tally(ops=1)
+
+        stats = launch_kernel(kernel, grid_dim=1, block_dim=n, args=(stage,))
+        assert stats.barriers >= 1
+        assert stats.ops == n
+
+    def test_blocks_do_not_share_barriers(self):
+        # Two blocks, each with its own barrier round: per-block shared
+        # state must not leak across blocks.
+        def kernel(ctx, out):
+            local = ctx.shared.alloc(1) if ctx.thread_idx == 0 else None
+            yield
+            arr = ctx.shared._arrays[0]
+            if ctx.thread_idx == 0:
+                arr[0] = ctx.block_idx
+            yield
+            out[ctx.global_id] = ctx.shared._arrays[0][0]
+
+        out = np.full(4, -1.0)
+        launch_kernel(kernel, grid_dim=2, block_dim=2, args=(out,))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 1.0, 1.0])
+
+    def test_divergent_barrier_detected(self):
+        def divergent(ctx):
+            if ctx.thread_idx == 0:
+                return  # exits before the barrier other threads reach
+                yield  # pragma: no cover - makes this a generator fn
+            yield
+
+        with pytest.raises(KernelExecutionError, match="divergent"):
+            launch_kernel(divergent, grid_dim=1, block_dim=4)
+
+
+class TestInstrumentation:
+    def test_tallies_accumulate_across_threads(self):
+        def worker(ctx):
+            ctx.tally(ops=2, bytes_read=8, bytes_written=4)
+
+        stats = launch_kernel(worker, grid_dim=2, block_dim=3)
+        assert stats.ops == 12
+        assert stats.bytes_read == 48
+        assert stats.bytes_written == 24
+
+    def test_kernel_name_recorded(self):
+        def my_named_kernel(ctx):
+            pass
+
+        stats = launch_kernel(my_named_kernel, grid_dim=1, block_dim=1)
+        assert stats.kernel_name == "my_named_kernel"

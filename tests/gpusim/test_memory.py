@@ -1,0 +1,177 @@
+"""Tests for the simulated device memory — including the paper's limits."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConstantMemoryError,
+    DeviceMemoryError,
+    DeviceStateError,
+    SharedMemoryError,
+    ValidationError,
+)
+from repro.gpusim import ConstantMemory, GlobalMemory, SharedMemory, TESLA_S1070
+
+
+class TestGlobalMemoryAccounting:
+    def test_allocation_tracks_bytes(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(1000, np.float32)
+        assert gm.bytes_allocated >= 4000
+        gm.free(buf)
+        assert gm.bytes_allocated == 0
+
+    def test_alignment_to_256(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(1, np.float32)
+        assert buf.nbytes_reserved == 256
+
+    def test_peak_tracked(self):
+        gm = GlobalMemory()
+        a = gm.malloc(10000, np.float32)
+        gm.free(a)
+        gm.malloc(100, np.float32)
+        assert gm.peak_bytes >= 40000
+
+    def test_oom_raises_and_leaves_state_clean(self):
+        gm = GlobalMemory()
+        with pytest.raises(DeviceMemoryError):
+            gm.malloc((100_000, 100_000), np.float64)
+        assert gm.bytes_allocated == 0
+
+    def test_double_free_rejected(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(10)
+        gm.free(buf)
+        with pytest.raises(DeviceStateError, match="double free"):
+            gm.free(buf)
+
+    def test_use_after_free_rejected(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(10)
+        gm.free(buf)
+        with pytest.raises(DeviceStateError):
+            buf.copy_to_host()
+
+    def test_free_all(self):
+        gm = GlobalMemory()
+        gm.malloc(10)
+        gm.malloc(20)
+        gm.free_all()
+        assert gm.bytes_allocated == 0
+        assert gm.live_buffers == []
+
+    def test_negative_shape_rejected(self):
+        gm = GlobalMemory()
+        with pytest.raises(ValidationError):
+            gm.malloc((-1, 5))
+
+    def test_report_fields(self):
+        gm = GlobalMemory()
+        gm.malloc(1000)
+        report = gm.report()
+        assert report["device"] == "tesla-s1070"
+        assert report["live_buffers"] == 1
+        assert report["allocated_gb"] > 0
+
+    def test_reserve_accounts_without_backing(self):
+        gm = GlobalMemory()
+        buf = gm.reserve((20_000, 20_000), np.float32, label="big")
+        assert gm.bytes_allocated >= 20_000 * 20_000 * 4
+        with pytest.raises(DeviceStateError, match="account-only"):
+            buf.copy_to_host()
+        gm.free(buf)
+        assert gm.bytes_allocated == 0
+
+    def test_reserve_enforces_capacity_like_malloc(self):
+        gm = GlobalMemory()
+        gm.reserve((20_000, 20_000), np.float32)
+        gm.reserve((20_000, 20_000), np.float32)
+        with pytest.raises(DeviceMemoryError):
+            gm.reserve((20_000, 20_000), np.float32)
+
+
+class TestDeviceBuffer:
+    def test_copy_roundtrip(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(5, np.float32)
+        host = np.arange(5, dtype=np.float64)
+        buf.copy_from_host(host)
+        got = buf.copy_to_host()
+        assert got.dtype == np.float32
+        np.testing.assert_array_equal(got, host.astype(np.float32))
+
+    def test_copy_shape_mismatch_rejected(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(5)
+        with pytest.raises(ValidationError):
+            buf.copy_from_host(np.zeros(6))
+
+    def test_fill(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(4)
+        buf.fill(2.5)
+        np.testing.assert_array_equal(buf.copy_to_host(), 2.5)
+
+    def test_copy_returns_independent_array(self):
+        gm = GlobalMemory()
+        buf = gm.malloc(3)
+        host = buf.copy_to_host()
+        host[:] = 99.0
+        assert (buf.copy_to_host() == 0.0).all()
+
+
+class TestPaperLimits:
+    """§IV-A / §V: the exact resource walls the paper reports."""
+
+    def test_two_nxn_matrices_fit_at_n_20000(self):
+        gm = GlobalMemory(TESLA_S1070)
+        gm.reserve((20_000, 20_000), np.float32, label="absdiff")
+        gm.reserve((20_000, 20_000), np.float32, label="y")
+        assert gm.bytes_allocated < gm.capacity
+
+    def test_two_nxn_matrices_oom_at_n_25000(self):
+        gm = GlobalMemory(TESLA_S1070)
+        gm.reserve((25_000, 25_000), np.float32, label="absdiff")
+        with pytest.raises(DeviceMemoryError):
+            gm.reserve((25_000, 25_000), np.float32, label="y")
+
+    def test_constant_memory_2048_float32_cap(self):
+        cm = ConstantMemory(TESLA_S1070)
+        cm.store(np.zeros(2048, dtype=np.float32))
+        with pytest.raises(ConstantMemoryError, match="2048"):
+            cm.store(np.zeros(2049, dtype=np.float32))
+
+    def test_shared_memory_16kb_cap(self):
+        sm = SharedMemory(TESLA_S1070)
+        sm.alloc(2 * 512, np.float32)  # the argmin reduction's 2T floats
+        with pytest.raises(SharedMemoryError):
+            sm.alloc(4096, np.float32)
+
+
+class TestConstantMemory:
+    def test_read_before_store_rejected(self):
+        with pytest.raises(DeviceStateError):
+            ConstantMemory().read()
+
+    def test_store_and_read(self):
+        cm = ConstantMemory()
+        cm.store(np.array([1.0, 2.0]))
+        got = cm.read()
+        assert got.dtype == np.float32
+        np.testing.assert_array_equal(got, [1.0, 2.0])
+        assert cm.occupied_bytes == 8
+
+
+class TestSharedMemory:
+    def test_alloc_and_reset(self):
+        sm = SharedMemory()
+        arr = sm.alloc(100, np.float32)
+        assert arr.shape == (100,)
+        assert sm.bytes_allocated == 400
+        sm.reset()
+        assert sm.bytes_allocated == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            SharedMemory().alloc(-1)

@@ -1,0 +1,77 @@
+"""Tests for the SM occupancy model (paper §IV-B block-size choice)."""
+
+import pytest
+
+from repro.exceptions import LaunchConfigurationError, ValidationError
+from repro.gpusim import TESLA_S1070
+from repro.gpusim.occupancy import OccupancyReport, best_block_size, occupancy
+
+
+class TestOccupancyCalculation:
+    def test_512_full_occupancy_for_light_kernel(self):
+        rep = occupancy(512, registers_per_thread=16)
+        assert rep.blocks_per_sm == 2
+        assert rep.occupancy == pytest.approx(1.0)
+
+    def test_small_blocks_hit_the_block_cap(self):
+        rep = occupancy(32, registers_per_thread=16)
+        assert rep.limiter == "blocks"
+        assert rep.blocks_per_sm == 8
+        assert rep.occupancy == pytest.approx(8 * 32 / 1024)
+
+    def test_warp_rounding(self):
+        # 33 threads occupy 2 warps = 64 lanes.
+        rep = occupancy(33)
+        assert rep.warps_per_block == 2
+
+    def test_register_pressure_limits(self):
+        light = occupancy(512, registers_per_thread=16)
+        heavy = occupancy(512, registers_per_thread=64)
+        assert heavy.occupancy < light.occupancy
+        assert heavy.limiter == "registers"
+
+    def test_shared_memory_limits(self):
+        # The argmin reduction's 2*512 floats = 4 KB/block: 4 blocks fit
+        # 16 KB but the thread cap binds first at 512 threads/block.
+        rep = occupancy(512, shared_bytes_per_block=4096)
+        assert rep.blocks_per_sm == 2
+        heavy = occupancy(128, shared_bytes_per_block=9000)
+        assert heavy.limiter == "shared-memory"
+        assert heavy.blocks_per_sm == 1
+
+    def test_block_limit_validated(self):
+        with pytest.raises(LaunchConfigurationError):
+            occupancy(1024, device=TESLA_S1070)
+        with pytest.raises(LaunchConfigurationError):
+            occupancy(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            occupancy(64, registers_per_thread=0)
+        with pytest.raises(ValidationError):
+            occupancy(64, shared_bytes_per_block=-1)
+
+
+class TestPaperBlockSizeChoice:
+    def test_512_is_best_for_the_main_kernel(self):
+        # The paper's main kernel: no shared memory, no synchronisation.
+        best, reports = best_block_size(registers_per_thread=16)
+        assert best == 512
+        by_block = {r.block_dim: r for r in reports}
+        # Everything from 128 up reaches full occupancy; the tie breaks
+        # toward the largest block, which is the paper's empirical pick.
+        assert by_block[128].occupancy == pytest.approx(1.0)
+        assert by_block[32].occupancy < 1.0
+
+    def test_modern_device_allows_1024(self):
+        best, _ = best_block_size(
+            device="modern-gpu", candidates=(256, 512, 1024)
+        )
+        assert best == 1024
+
+    def test_no_fitting_candidate_rejected(self):
+        with pytest.raises(ValidationError):
+            best_block_size(candidates=(2048,))
+
+    def test_report_str(self):
+        assert "threads/block" in str(occupancy(256))

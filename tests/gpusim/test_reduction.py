@@ -1,0 +1,100 @@
+"""Tests for the Harris-style tree reductions (paper §IV-B / ref [17])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import LaunchConfigurationError
+from repro.gpusim import device_argmin, device_sum
+
+
+class TestDeviceSum:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(size=1000).astype(np.float32)
+        total, _ = device_sum(data, block_dim=128)
+        assert total == pytest.approx(float(data.sum()), rel=1e-4)
+
+    def test_shorter_than_block(self):
+        data = np.arange(5, dtype=np.float32)
+        total, _ = device_sum(data, block_dim=64)
+        assert total == pytest.approx(10.0)
+
+    def test_explicit_n_limits_range(self):
+        data = np.ones(100, dtype=np.float32)
+        total, _ = device_sum(data, n=40, block_dim=32)
+        assert total == pytest.approx(40.0)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(LaunchConfigurationError, match="power-of-two"):
+            device_sum(np.ones(8, dtype=np.float32), block_dim=48)
+
+    def test_barrier_count_is_log_tree(self):
+        data = np.ones(10, dtype=np.float32)
+        _, stats = device_sum(data, block_dim=64)
+        # 1 alloc barrier + 1 accumulate barrier + log2(64) tree rounds.
+        assert stats.barriers == 2 + 6
+
+    @given(
+        values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                        max_size=300),
+        block=st.sampled_from([32, 64, 256, 512]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_numpy(self, values, block):
+        data = np.array(values, dtype=np.float32)
+        total, _ = device_sum(data, block_dim=block)
+        assert total == pytest.approx(float(data.astype(np.float64).sum()),
+                                      rel=1e-3, abs=1e-2)
+
+
+class TestDeviceArgmin:
+    def test_matches_numpy_argmin(self):
+        rng = np.random.default_rng(1)
+        scores = rng.uniform(size=500).astype(np.float32)
+        values = np.arange(500, dtype=np.float32)
+        mn, val, _ = device_argmin(scores, values, block_dim=128)
+        j = int(scores.argmin())
+        assert mn == pytest.approx(float(scores[j]))
+        assert val == float(j)
+
+    def test_carries_bandwidth_not_index(self):
+        scores = np.array([3.0, 1.0, 2.0], dtype=np.float32)
+        bandwidths = np.array([0.1, 0.2, 0.3], dtype=np.float32)
+        _, best_h, _ = device_argmin(scores, bandwidths, block_dim=32)
+        assert best_h == pytest.approx(0.2)
+
+    def test_nonfinite_scores_never_win(self):
+        scores = np.array([np.inf, np.nan, 5.0], dtype=np.float32)
+        values = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        mn, val, _ = device_argmin(scores, values, block_dim=32)
+        assert mn == pytest.approx(5.0)
+        assert val == pytest.approx(3.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LaunchConfigurationError):
+            device_argmin(
+                np.zeros(3, dtype=np.float32), np.zeros(4, dtype=np.float32)
+            )
+
+    def test_k_larger_than_block(self):
+        # More scores than threads: the modulus-T accumulation loop.
+        rng = np.random.default_rng(2)
+        scores = rng.uniform(1, 2, size=2000).astype(np.float32)
+        scores[1234] = 0.5
+        values = np.arange(2000, dtype=np.float32)
+        mn, val, _ = device_argmin(scores, values, block_dim=64)
+        assert val == 1234.0
+
+    @given(seed=st.integers(0, 5000), k=st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_numpy(self, seed, k):
+        rng = np.random.default_rng(seed)
+        scores = rng.uniform(size=k).astype(np.float32)
+        values = rng.uniform(size=k).astype(np.float32)
+        mn, val, _ = device_argmin(scores, values, block_dim=32)
+        j = int(scores.argmin())
+        assert mn == pytest.approx(float(scores[j]), rel=1e-6)
+        # Ties in float32 could map to any tied value; check score match.
+        candidates = values[scores == scores[j]]
+        assert any(val == pytest.approx(float(c), rel=1e-6) for c in candidates)

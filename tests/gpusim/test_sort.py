@@ -1,0 +1,129 @@
+"""Tests for the iterative dual-array quicksort (paper §IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.gpusim import MAX_LEVELS, iterative_quicksort, quicksort_ops_estimate
+
+
+class TestBasicSorting:
+    def test_sorts_random_keys(self):
+        rng = np.random.default_rng(0)
+        keys = rng.uniform(size=500)
+        iterative_quicksort(keys)
+        assert (np.diff(keys) >= 0).all()
+
+    def test_payload_follows_keys(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        payload = np.array([30.0, 10.0, 20.0])
+        iterative_quicksort(keys, payload)
+        np.testing.assert_array_equal(keys, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(payload, [10.0, 20.0, 30.0])
+
+    def test_empty_and_singleton(self):
+        empty = np.empty(0)
+        iterative_quicksort(empty)
+        one = np.array([5.0])
+        iterative_quicksort(one)
+        assert one[0] == 5.0
+
+    def test_two_elements(self):
+        keys = np.array([2.0, 1.0])
+        iterative_quicksort(keys)
+        np.testing.assert_array_equal(keys, [1.0, 2.0])
+
+    def test_payload_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            iterative_quicksort(np.zeros(3), np.zeros(4))
+
+    def test_2d_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            iterative_quicksort(np.zeros((2, 2)))
+
+
+class TestAdversarialInputs:
+    """The fixed-size explicit stack must survive worst-case patterns."""
+
+    def test_already_sorted(self):
+        keys = np.arange(500.0)
+        iterative_quicksort(keys)
+        np.testing.assert_array_equal(keys, np.arange(500.0))
+
+    def test_reverse_sorted(self):
+        keys = np.arange(500.0)[::-1].copy()
+        iterative_quicksort(keys)
+        np.testing.assert_array_equal(keys, np.arange(500.0))
+
+    def test_all_equal(self):
+        keys = np.full(300, 1.5)
+        iterative_quicksort(keys)
+        assert (keys == 1.5).all()
+
+    def test_many_ties_with_payload(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 5, 400).astype(float)
+        payload = rng.uniform(size=400)
+        pairs_before = sorted(zip(keys.tolist(), payload.tolist()))
+        iterative_quicksort(keys, payload)
+        pairs_after = sorted(zip(keys.tolist(), payload.tolist()))
+        assert pairs_before == pairs_after  # same multiset of pairs
+        assert (np.diff(keys) >= 0).all()
+
+    def test_organ_pipe(self):
+        keys = np.concatenate([np.arange(100.0), np.arange(100.0)[::-1]])
+        iterative_quicksort(keys)
+        assert (np.diff(keys) >= 0).all()
+
+
+class TestProperties:
+    @given(
+        data=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=200
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_sort(self, data):
+        keys = np.array(data, dtype=float)
+        expected = np.sort(keys)
+        iterative_quicksort(keys)
+        np.testing.assert_array_equal(keys, expected)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_key_payload_pairing_preserved(self, seed, n):
+        rng = np.random.default_rng(seed)
+        keys = rng.uniform(size=n)
+        payload = keys * 2.0 + 1.0  # payload functionally tied to key
+        iterative_quicksort(keys, payload)
+        np.testing.assert_allclose(payload, keys * 2.0 + 1.0)
+
+
+class TestOpsAccounting:
+    def test_count_ops_positive_for_random_input(self):
+        rng = np.random.default_rng(3)
+        keys = rng.uniform(size=256)
+        ops = iterative_quicksort(keys, count_ops=True)
+        assert ops > 0
+
+    def test_count_disabled_returns_zero(self):
+        rng = np.random.default_rng(4)
+        keys = rng.uniform(size=64)
+        assert iterative_quicksort(keys) == 0
+
+    def test_analytic_estimate_within_factor_two(self):
+        rng = np.random.default_rng(5)
+        for n in (128, 1024):
+            keys = rng.uniform(size=n)
+            ops = iterative_quicksort(keys, count_ops=True)
+            estimate = quicksort_ops_estimate(n)
+            assert estimate / 2.5 < ops < estimate * 2.5
+
+    def test_estimate_edge_cases(self):
+        assert quicksort_ops_estimate(0) == 0.0
+        assert quicksort_ops_estimate(1) == 0.0
+        assert quicksort_ops_estimate(1000) > 10_000
+
+    def test_max_levels_constant_sane(self):
+        assert MAX_LEVELS >= 64

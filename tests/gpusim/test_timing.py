@@ -1,0 +1,99 @@
+"""Tests for the roofline timing-model primitives."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim import TESLA_S1070, PhaseTime, SimulatedRuntime, TimingModel
+
+
+class TestPhaseTime:
+    def test_phase_time_is_max_of_resources(self):
+        p = PhaseTime("x", compute_seconds=2.0, memory_seconds=5.0)
+        assert p.seconds == 5.0
+        assert p.bound == "memory"
+
+    def test_compute_bound(self):
+        p = PhaseTime("x", compute_seconds=3.0, memory_seconds=1.0)
+        assert p.bound == "compute"
+
+
+class TestSimulatedRuntime:
+    def _runtime(self):
+        return SimulatedRuntime(
+            phases=(
+                PhaseTime("a", 1.0, 0.5),
+                PhaseTime("b", 0.1, 2.0),
+            ),
+            overhead_seconds=0.09,
+        )
+
+    def test_total_adds_overhead_and_phases(self):
+        assert self._runtime().total_seconds == pytest.approx(0.09 + 1.0 + 2.0)
+
+    def test_phase_lookup(self):
+        assert self._runtime().phase("b").memory_seconds == 2.0
+        with pytest.raises(ValidationError):
+            self._runtime().phase("zzz")
+
+    def test_breakdown_renders_all_phases(self):
+        text = self._runtime().breakdown()
+        assert "a" in text and "b" in text and "TOTAL" in text
+
+
+class TestTimingModel:
+    def test_compute_rate_scales_with_ops(self):
+        tm = TimingModel(TESLA_S1070)
+        assert tm.compute_seconds(2e9) == pytest.approx(
+            2.0 * tm.compute_seconds(1e9)
+        )
+
+    def test_low_occupancy_slows_compute(self):
+        tm = TimingModel(TESLA_S1070)
+        # 32 threads use one warp; 240+ threads saturate the device.
+        slow = tm.compute_seconds(1e9, threads=32)
+        fast = tm.compute_seconds(1e9, threads=10_000)
+        assert slow > 5.0 * fast
+
+    def test_threads_rounded_to_warps(self):
+        tm = TimingModel(TESLA_S1070)
+        assert tm.compute_seconds(1e9, threads=1) == pytest.approx(
+            tm.compute_seconds(1e9, threads=32)
+        )
+
+    def test_uncoalesced_access_much_slower_than_coalesced(self):
+        tm = TimingModel(TESLA_S1070)
+        accesses = 1e8
+        coalesced = tm.memory_seconds_coalesced(accesses * 4)
+        scattered = tm.memory_seconds_uncoalesced(accesses)
+        assert scattered == pytest.approx(coalesced * 32)  # 128B / 4B
+
+    def test_divergence_penalty_validated(self):
+        with pytest.raises(ValidationError):
+            TimingModel(divergence_penalty=0.5)
+
+    def test_negative_work_rejected(self):
+        tm = TimingModel()
+        with pytest.raises(ValidationError):
+            tm.compute_seconds(-1)
+        with pytest.raises(ValidationError):
+            tm.memory_seconds_coalesced(-1)
+        with pytest.raises(ValidationError):
+            tm.memory_seconds_uncoalesced(-1)
+
+    def test_phase_combines_both_memory_kinds(self):
+        tm = TimingModel()
+        p = tm.phase("x", ops=0, coalesced_bytes=1e9, uncoalesced_accesses=1e6)
+        expected = tm.memory_seconds_coalesced(1e9) + tm.memory_seconds_uncoalesced(1e6)
+        assert p.memory_seconds == pytest.approx(expected)
+
+    def test_launch_overhead_linear(self):
+        tm = TimingModel()
+        assert tm.launch_overhead(100) == pytest.approx(100 * 5e-6)
+        with pytest.raises(ValidationError):
+            tm.launch_overhead(-1)
+
+    def test_modern_gpu_faster(self):
+        paper = TimingModel("tesla-s1070")
+        modern = TimingModel("modern-gpu")
+        assert modern.compute_seconds(1e10) < paper.compute_seconds(1e10)
+        assert modern.memory_seconds_coalesced(1e10) < paper.memory_seconds_coalesced(1e10)

@@ -1,0 +1,73 @@
+"""Tests for KDE confidence bands."""
+
+import numpy as np
+import pytest
+
+from repro.data import bimodal_normal_sample, uniform_sample
+from repro.exceptions import ValidationError
+from repro.kde import kde_confidence_band
+
+
+class TestBandGeometry:
+    def test_band_brackets_estimate(self, rng):
+        x = rng.normal(size=300)
+        at = np.linspace(-2, 2, 11)
+        band = kde_confidence_band(x, at, 0.4)
+        assert (band.lower <= band.estimate).all()
+        assert (band.estimate <= band.upper).all()
+
+    def test_lower_clipped_at_zero(self, rng):
+        x = rng.normal(size=50)
+        at = np.array([8.0])  # deep tail: estimate ~ 0
+        band = kde_confidence_band(x, at, 0.3, kernel="gaussian")
+        assert band.lower[0] >= 0.0
+
+    def test_higher_level_widens(self, rng):
+        x = rng.normal(size=200)
+        at = np.linspace(-1, 1, 5)
+        b90 = kde_confidence_band(x, at, 0.4, level=0.90)
+        b99 = kde_confidence_band(x, at, 0.4, level=0.99)
+        assert (b99.width >= b90.width).all()
+
+    def test_more_data_narrows(self):
+        at = np.array([0.0])
+        widths = []
+        for n in (100, 5000):
+            x = np.random.default_rng(1).normal(size=n)
+            widths.append(kde_confidence_band(x, at, 0.4).width[0])
+        assert widths[1] < widths[0]
+
+    def test_validation(self, rng):
+        x = rng.normal(size=20)
+        with pytest.raises(ValidationError):
+            kde_confidence_band(x, np.array([0.0]), 0.0)
+        with pytest.raises(ValidationError):
+            kde_confidence_band(x, np.array([0.0]), 0.3, level=2.0)
+        with pytest.raises(ValidationError):
+            kde_confidence_band(np.array([1.0]), np.array([0.0]), 0.3)
+
+
+class TestCoverage:
+    def test_monte_carlo_coverage_near_nominal(self):
+        # Coverage at interior points of an easy density over 30 draws.
+        at = np.linspace(0.25, 0.75, 5)
+        hits = []
+        for seed in range(30):
+            s = uniform_sample(600, seed=seed)
+            band = kde_confidence_band(s.x, at, 0.15)
+            hits.append(band.coverage_of(s.true_density(at)))
+        assert float(np.mean(hits)) > 0.75
+
+    def test_coverage_shape_mismatch_rejected(self, rng):
+        x = rng.normal(size=50)
+        band = kde_confidence_band(x, np.array([0.0, 1.0]), 0.4)
+        with pytest.raises(ValidationError):
+            band.coverage_of(np.zeros(3))
+
+    def test_estimate_matches_kde_evaluate(self, rng):
+        from repro.kde import kde_evaluate
+
+        x = rng.normal(size=150)
+        at = np.linspace(-1, 1, 7)
+        band = kde_confidence_band(x, at, 0.5)
+        np.testing.assert_allclose(band.estimate, kde_evaluate(x, at, 0.5))

@@ -1,0 +1,92 @@
+"""Tests for kernel self-convolutions."""
+
+import numpy as np
+import pytest
+
+from repro.kde.convolution import CONVOLUTION_REGISTRY, self_convolution
+from repro.kernels import get_kernel
+
+_TRAPEZOID = getattr(np, "trapezoid", None) or np.trapz
+
+
+def _numeric_convolution(kern, t, *, points=40001):
+    radius = kern.support_radius if kern.has_compact_support else 10.0
+    v = np.linspace(-radius, radius, points)
+    kv = kern(v)
+    return float(_TRAPEZOID(kv * kern(t - v), v))
+
+
+@pytest.mark.parametrize("name", sorted(CONVOLUTION_REGISTRY))
+class TestClosedForms:
+    def test_value_at_zero_is_roughness(self, name):
+        conv = CONVOLUTION_REGISTRY[name]
+        kern = get_kernel(name)
+        assert conv(np.array([0.0]))[0] == pytest.approx(kern.roughness)
+
+    def test_matches_numeric_convolution(self, name):
+        conv = CONVOLUTION_REGISTRY[name]
+        kern = get_kernel(name)
+        for t in (0.0, 0.3, 0.9, 1.5, 1.99):
+            assert conv(np.array([t]))[0] == pytest.approx(
+                _numeric_convolution(kern, t), abs=1e-5
+            )
+
+    def test_symmetric(self, name):
+        conv = CONVOLUTION_REGISTRY[name]
+        t = np.linspace(0, 3, 31)
+        np.testing.assert_allclose(conv(t), conv(-t))
+
+    def test_integrates_to_one(self, name):
+        conv = CONVOLUTION_REGISTRY[name]
+        radius = conv.support_radius if np.isfinite(conv.support_radius) else 12.0
+        t = np.linspace(-radius, radius, 100001)
+        assert float(_TRAPEZOID(conv(t), t)) == pytest.approx(1.0, abs=1e-4)
+
+    def test_nonnegative(self, name):
+        conv = CONVOLUTION_REGISTRY[name]
+        t = np.linspace(-4, 4, 801)
+        assert (conv(t) >= -1e-12).all()
+
+
+class TestCompactSupport:
+    def test_epanechnikov_zero_outside_two(self):
+        conv = CONVOLUTION_REGISTRY["epanechnikov"]
+        assert conv(np.array([2.0]))[0] == pytest.approx(0.0, abs=1e-12)
+        assert conv(np.array([2.5]))[0] == 0.0
+
+    def test_uniform_is_triangle_on_pm2(self):
+        conv = CONVOLUTION_REGISTRY["uniform"]
+        np.testing.assert_allclose(
+            conv(np.array([0.0, 1.0, 2.0])), [0.5, 0.25, 0.0]
+        )
+
+    def test_poly_terms_match_evaluate(self):
+        for name in ("epanechnikov", "uniform"):
+            conv = CONVOLUTION_REGISTRY[name]
+            t = np.linspace(0, conv.support_radius, 101)
+            poly = sum(
+                term.coefficient * np.abs(t) ** term.power
+                for term in conv.poly_terms
+            )
+            np.testing.assert_allclose(poly, conv(t), atol=1e-12)
+
+
+class TestNumericFallback:
+    def test_triangular_fallback_matches_direct_numeric(self):
+        conv = self_convolution("triangular")
+        kern = get_kernel("triangular")
+        assert conv.poly_terms is None  # piecewise, not a single polynomial
+        for t in (0.0, 0.5, 1.0, 1.7):
+            assert conv(np.array([t]))[0] == pytest.approx(
+                _numeric_convolution(kern, t), abs=1e-3
+            )
+
+    def test_fallback_not_fast_grid_eligible(self):
+        assert not self_convolution("biweight").supports_fast_grid
+
+    def test_gaussian_closed_form_is_n02(self):
+        conv = self_convolution("gaussian")
+        # N(0, 2) density at 0 is 1/(2*sqrt(pi)).
+        assert conv(np.array([0.0]))[0] == pytest.approx(
+            1.0 / (2.0 * np.sqrt(np.pi))
+        )

@@ -1,0 +1,62 @@
+"""Tests for the KDE rules of thumb."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SelectionError, ValidationError
+from repro.kde.rot import scott_bandwidth, silverman_bandwidth
+
+
+class TestSilverman:
+    def test_gaussian_reference_formula(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1.0, 4000)
+        h = silverman_bandwidth(x)
+        sd = np.std(x, ddof=1)
+        q75, q25 = np.percentile(x, [75, 25])
+        spread = min(sd, (q75 - q25) / 1.349)
+        assert h == pytest.approx(0.9 * spread * 4000 ** (-0.2))
+
+    def test_robust_to_outliers_via_iqr(self):
+        rng = np.random.default_rng(1)
+        clean = rng.normal(size=500)
+        dirty = np.concatenate([clean, [1000.0, -1000.0]])
+        # The IQR branch keeps the bandwidth in a sane range.
+        assert silverman_bandwidth(dirty) < 3.0 * silverman_bandwidth(clean)
+
+    def test_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        small = silverman_bandwidth(rng.normal(size=100))
+        large = silverman_bandwidth(rng.normal(size=10000))
+        assert large < small
+
+    def test_kernel_rescaling(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=300)
+        assert silverman_bandwidth(x, "epanechnikov") > silverman_bandwidth(x)
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(SelectionError):
+            silverman_bandwidth(np.ones(50))
+
+    def test_needs_1d_sample(self):
+        with pytest.raises(ValidationError):
+            silverman_bandwidth(np.ones((3, 3)))
+
+
+class TestScott:
+    def test_formula(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 2.0, 1000)
+        assert scott_bandwidth(x) == pytest.approx(
+            1.06 * np.std(x, ddof=1) * 1000 ** (-0.2)
+        )
+
+    def test_scott_geq_silverman_for_normal_data(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=2000)
+        assert scott_bandwidth(x) >= silverman_bandwidth(x)
+
+    def test_zero_sd_rejected(self):
+        with pytest.raises(SelectionError):
+            scott_bandwidth(np.full(10, 3.3))

@@ -1,0 +1,95 @@
+"""Unit tests for the Kernel base class and PolyTerm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    PolyTerm,
+    UniformKernel,
+)
+
+
+class TestPolyTerm:
+    def test_fields(self):
+        t = PolyTerm(0.75, 2)
+        assert t.coefficient == 0.75
+        assert t.power == 2
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PolyTerm(1.0, -1)
+
+    def test_frozen(self):
+        t = PolyTerm(1.0, 0)
+        with pytest.raises(AttributeError):
+            t.power = 3
+
+
+class TestKernelMetadata:
+    def test_compact_support_flag(self):
+        assert EpanechnikovKernel().has_compact_support
+        assert not GaussianKernel().has_compact_support
+
+    def test_fast_grid_support_flag(self):
+        assert EpanechnikovKernel().supports_fast_grid
+        assert not GaussianKernel().supports_fast_grid
+
+    def test_epanechnikov_is_efficiency_reference(self):
+        assert EpanechnikovKernel().efficiency() == pytest.approx(1.0)
+
+    def test_other_kernels_less_efficient(self):
+        for kern in (UniformKernel(), GaussianKernel()):
+            assert kern.efficiency() >= 1.0
+
+    def test_gaussian_efficiency_textbook_value(self):
+        # C(K)-ratio form; the textbook 1.051 sample-size ratio is its
+        # 5/4 power: 1.0408**1.25 ~= 1.051.
+        eff = GaussianKernel().efficiency()
+        assert eff == pytest.approx(1.0408, abs=2e-3)
+        assert eff**1.25 == pytest.approx(1.0513, abs=2e-3)
+
+    def test_canonical_bandwidth_epanechnikov(self):
+        # delta_0 = (R/kappa2^2)^(1/5) = (0.6/0.04)^(1/5) = 15^(1/5).
+        assert EpanechnikovKernel().canonical_bandwidth == pytest.approx(
+            15.0 ** 0.2
+        )
+
+    def test_equality_by_name(self):
+        assert EpanechnikovKernel() == EpanechnikovKernel()
+        assert EpanechnikovKernel() != UniformKernel()
+
+    def test_hashable(self):
+        assert len({EpanechnikovKernel(), EpanechnikovKernel()}) == 1
+
+
+class TestKernelEvaluation:
+    def test_zero_outside_support(self):
+        k = EpanechnikovKernel()
+        np.testing.assert_array_equal(k(np.array([1.5, -2.0, 100.0])), 0.0)
+
+    def test_boundary_value(self):
+        k = EpanechnikovKernel()
+        assert k(np.array([1.0]))[0] == pytest.approx(0.0)
+        assert k(np.array([-1.0]))[0] == pytest.approx(0.0)
+
+    def test_peak_at_zero(self):
+        assert EpanechnikovKernel()(np.array([0.0]))[0] == pytest.approx(0.75)
+
+    def test_scalar_input_supported(self):
+        assert float(EpanechnikovKernel()(0.5)) == pytest.approx(0.75 * 0.75)
+
+    def test_gaussian_never_zero(self):
+        assert (GaussianKernel()(np.array([-5.0, 0.0, 5.0])) > 0.0).all()
+
+    def test_poly_weight_requires_poly_terms(self):
+        with pytest.raises(NotImplementedError):
+            GaussianKernel().poly_weight(np.array([0.0]))
+
+    def test_abstract_weight_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Kernel()(np.array([0.0]))

@@ -1,0 +1,91 @@
+"""Property tests for every registered kernel.
+
+These pin down the mathematical contract the selectors rely on:
+normalisation, symmetry, non-negativity, the declared roughness/second
+moment, and — for fast-grid kernels — exact agreement between the
+polynomial expansion and the direct weight.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import KERNEL_REGISTRY, get_kernel
+
+_TRAPEZOID = getattr(np, "trapezoid", None) or np.trapz
+
+ALL_KERNELS = sorted(KERNEL_REGISTRY)
+POLY_KERNELS = sorted(
+    name for name, k in KERNEL_REGISTRY.items() if k.supports_fast_grid
+)
+
+
+def _integration_grid(kern):
+    radius = kern.support_radius if kern.has_compact_support else 10.0
+    return np.linspace(-radius, radius, 200001)
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+class TestKernelAxioms:
+    def test_integrates_to_one(self, name):
+        kern = get_kernel(name)
+        u = _integration_grid(kern)
+        assert float(_TRAPEZOID(kern(u), u)) == pytest.approx(1.0, abs=1e-4)
+
+    def test_symmetric(self, name):
+        kern = get_kernel(name)
+        u = np.linspace(0.0, 3.0, 301)
+        np.testing.assert_allclose(kern(u), kern(-u), atol=1e-15)
+
+    def test_nonnegative(self, name):
+        kern = get_kernel(name)
+        u = np.linspace(-3.0, 3.0, 601)
+        assert (kern(u) >= 0.0).all()
+
+    def test_declared_roughness_matches_integral(self, name):
+        kern = get_kernel(name)
+        u = _integration_grid(kern)
+        w = kern(u)
+        assert float(_TRAPEZOID(w * w, u)) == pytest.approx(
+            kern.roughness, rel=1e-3
+        )
+
+    def test_declared_second_moment_matches_integral(self, name):
+        kern = get_kernel(name)
+        u = _integration_grid(kern)
+        assert float(_TRAPEZOID(u * u * kern(u), u)) == pytest.approx(
+            kern.second_moment, rel=1e-3
+        )
+
+    def test_maximum_at_zero(self, name):
+        kern = get_kernel(name)
+        u = np.linspace(-1.5, 1.5, 301)
+        assert kern(np.array([0.0]))[0] == pytest.approx(float(kern(u).max()))
+
+    def test_monotone_decreasing_in_abs_u(self, name):
+        kern = get_kernel(name)
+        u = np.linspace(0.0, 2.0, 101)
+        w = kern(u)
+        assert (np.diff(w) <= 1e-12).all()
+
+
+@pytest.mark.parametrize("name", POLY_KERNELS)
+class TestPolynomialExpansion:
+    def test_poly_weight_equals_direct_weight_on_grid(self, name):
+        kern = get_kernel(name)
+        u = np.linspace(-1.2, 1.2, 2401)
+        np.testing.assert_allclose(kern.poly_weight(u), kern(u), atol=1e-12)
+
+    @given(u=st.floats(-2.0, 2.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_poly_weight_equals_direct_weight_pointwise(self, name, u):
+        kern = get_kernel(name)
+        arr = np.array([u])
+        np.testing.assert_allclose(
+            kern.poly_weight(arr), kern(arr), atol=1e-12
+        )
+
+    def test_support_radius_is_one(self, name):
+        assert get_kernel(name).support_radius == 1.0

@@ -1,0 +1,80 @@
+"""Unit tests for the kernel registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kernels import (
+    EpanechnikovKernel,
+    Kernel,
+    fast_grid_kernels,
+    get_kernel,
+    list_kernels,
+    register_kernel,
+)
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+class TestGetKernel:
+    def test_lookup_by_name(self):
+        assert get_kernel("epanechnikov").name == "epanechnikov"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_kernel("Epanechnikov").name == "epanechnikov"
+
+    def test_instance_passes_through(self):
+        kern = EpanechnikovKernel()
+        assert get_kernel(kern) is kern
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValidationError, match="gaussian"):
+            get_kernel("not-a-kernel")
+
+    def test_non_string_non_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            get_kernel(42)
+
+    def test_singletons_shared(self):
+        assert get_kernel("uniform") is get_kernel("uniform")
+
+
+class TestRegistryContents:
+    def test_eight_standard_kernels_present(self):
+        expected = {
+            "epanechnikov", "uniform", "triangular", "biweight",
+            "triweight", "tricube", "cosine", "gaussian",
+        }
+        assert expected <= set(list_kernels())
+
+    def test_fast_grid_kernels_are_polynomial_compact(self):
+        fast = set(fast_grid_kernels())
+        assert "epanechnikov" in fast
+        assert "gaussian" not in fast
+        assert "cosine" not in fast
+        for name in fast:
+            kern = get_kernel(name)
+            assert kern.supports_fast_grid
+
+
+class TestRegisterKernel:
+    def test_register_and_cleanup(self):
+        class Custom(EpanechnikovKernel):
+            name = "custom-test-kernel"
+
+        try:
+            register_kernel(Custom())
+            assert get_kernel("custom-test-kernel").name == "custom-test-kernel"
+        finally:
+            KERNEL_REGISTRY.pop("custom-test-kernel", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_kernel(EpanechnikovKernel())
+
+    def test_overwrite_allowed_when_requested(self):
+        register_kernel(EpanechnikovKernel(), overwrite=True)
+        assert get_kernel("epanechnikov").name == "epanechnikov"
+
+    def test_non_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            register_kernel("epanechnikov")

@@ -1,0 +1,88 @@
+"""Tests for the weighted per-dimension fast sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.multivariate import mv_cv_score, mv_cv_scores_along_dim
+
+
+@pytest.fixture(scope="module")
+def trivariate():
+    rng = np.random.default_rng(8)
+    n = 120
+    x = rng.uniform(0, 1, (n, 3))
+    y = np.sin(3 * x[:, 0]) + x[:, 1] ** 2 - x[:, 2] + rng.normal(0, 0.1, n)
+    return x, y
+
+
+class TestSweepDenseEquivalence:
+    @pytest.mark.parametrize("dim", [0, 1, 2])
+    def test_matches_dense_per_dim(self, trivariate, dim):
+        x, y = trivariate
+        h = np.array([0.3, 0.25, 0.4])
+        grid = np.linspace(0.08, 0.9, 6)
+        fast = mv_cv_scores_along_dim(x, y, h, dim, grid)
+        dense = []
+        for g in grid:
+            h_try = h.copy()
+            h_try[dim] = g
+            dense.append(mv_cv_score(x, y, h_try))
+        np.testing.assert_allclose(fast, dense, rtol=1e-9)
+
+    @given(seed=st.integers(0, 2000), dim=st.integers(0, 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_2d(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        n = 30
+        x = rng.uniform(0, 1, (n, 2))
+        y = rng.normal(0, 1, n)
+        h = np.array([0.4, 0.5])
+        grid = np.array([0.1, 0.35, 0.8])
+        fast = mv_cv_scores_along_dim(x, y, h, dim, grid)
+        dense = []
+        for g in grid:
+            h_try = h.copy()
+            h_try[dim] = g
+            dense.append(mv_cv_score(x, y, h_try))
+        np.testing.assert_allclose(fast, dense, rtol=1e-8, atol=1e-10)
+
+    def test_mixed_other_dim_kernels_allowed(self, trivariate):
+        # The swept dim needs a polynomial kernel; the others can be
+        # anything, including the Gaussian.
+        x, y = trivariate
+        h = np.array([0.3, 0.3, 0.3])
+        grid = np.array([0.2, 0.6])
+        kernels = ["epanechnikov", "gaussian", "cosine"]
+        fast = mv_cv_scores_along_dim(x, y, h, 0, grid, kernels)
+        dense = []
+        for g in grid:
+            h_try = h.copy()
+            h_try[0] = g
+            dense.append(mv_cv_score(x, y, h_try, kernels))
+        np.testing.assert_allclose(fast, dense, rtol=1e-9)
+
+    def test_gaussian_swept_dim_rejected(self, trivariate):
+        x, y = trivariate
+        with pytest.raises(ValidationError):
+            mv_cv_scores_along_dim(
+                x, y, np.array([0.3, 0.3, 0.3]), 1,
+                np.array([0.2, 0.4]),
+                ["epanechnikov", "gaussian", "epanechnikov"],
+            )
+
+    def test_invalid_dim_rejected(self, trivariate):
+        x, y = trivariate
+        with pytest.raises(ValidationError):
+            mv_cv_scores_along_dim(
+                x, y, np.array([0.3, 0.3, 0.3]), 5, np.array([0.2])
+            )
+
+    def test_chunking_invariance(self, trivariate):
+        x, y = trivariate
+        h = np.array([0.3, 0.3, 0.3])
+        grid = np.array([0.2, 0.5, 0.9])
+        a = mv_cv_scores_along_dim(x, y, h, 0, grid, chunk_rows=120)
+        b = mv_cv_scores_along_dim(x, y, h, 0, grid, chunk_rows=11)
+        np.testing.assert_allclose(a, b, rtol=1e-12)

@@ -1,0 +1,118 @@
+"""Tests for multivariate NW estimation and its CV objective."""
+
+import numpy as np
+import pytest
+
+from repro.core.loocv import cv_score
+from repro.exceptions import ValidationError
+from repro.multivariate import (
+    mv_cv_score,
+    mv_loo_estimates,
+    mv_nw_estimate,
+    product_weights,
+    resolve_kernels,
+    self_weight_constant,
+)
+
+
+@pytest.fixture(scope="module")
+def bivariate():
+    rng = np.random.default_rng(3)
+    n = 200
+    x = rng.uniform(0, 1, (n, 2))
+    y = x[:, 0] + 2.0 * x[:, 1] + rng.normal(0, 0.1, n)
+    return x, y
+
+
+class TestProductWeights:
+    def test_product_of_univariate_weights(self):
+        from repro.kernels import get_kernel
+
+        kern = get_kernel("epanechnikov")
+        at = np.array([[0.5, 0.5]])
+        x = np.array([[0.4, 0.7], [0.9, 0.5]])
+        h = np.array([0.5, 0.5])
+        w = product_weights(at, x, h, resolve_kernels("epanechnikov", 2))
+        expected0 = float(kern(np.array([0.2]))[0] * kern(np.array([-0.4]))[0])
+        expected1 = float(kern(np.array([-0.8]))[0] * kern(np.array([0.0]))[0])
+        np.testing.assert_allclose(w[0], [expected0, expected1])
+
+    def test_skip_dim_drops_one_factor(self):
+        at = np.array([[0.5, 0.5]])
+        x = np.array([[0.4, 0.7]])
+        h = np.array([0.5, 0.5])
+        kerns = resolve_kernels("epanechnikov", 2)
+        full = product_weights(at, x, h, kerns)
+        partial = product_weights(at, x, h, kerns, skip_dim=1)
+        from repro.kernels import get_kernel
+
+        factor = float(get_kernel("epanechnikov")(np.array([-0.4]))[0])
+        np.testing.assert_allclose(full, partial * factor)
+
+    def test_self_weight_constant(self):
+        kerns = resolve_kernels("epanechnikov", 3)
+        assert self_weight_constant(kerns) == pytest.approx(0.75**3)
+        assert self_weight_constant(kerns, skip_dim=0) == pytest.approx(0.75**2)
+
+    def test_mixed_kernels(self):
+        kerns = resolve_kernels(["epanechnikov", "uniform"], 2)
+        assert self_weight_constant(kerns) == pytest.approx(0.75 * 0.5)
+
+    def test_kernel_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_kernels(["epanechnikov"], 2)
+
+
+class TestMvEstimation:
+    def test_reduces_to_univariate_for_d1(self, paper_sample_medium):
+        s = paper_sample_medium
+        h = 0.15
+        mv, mv_ok = mv_nw_estimate(s.x[:, None], s.y, s.x[:, None], h)
+        from repro.regression import nw_estimate
+
+        uni, uni_ok = nw_estimate(s.x, s.y, s.x, h)
+        np.testing.assert_allclose(mv[mv_ok], uni[uni_ok])
+
+    def test_cv_reduces_to_univariate_for_d1(self, paper_sample_small):
+        s = paper_sample_small
+        assert mv_cv_score(s.x[:, None], s.y, 0.2) == pytest.approx(
+            cv_score(s.x, s.y, 0.2)
+        )
+
+    def test_loo_excludes_self(self, bivariate):
+        x, y = bivariate
+        g_loo, valid = mv_loo_estimates(x, y, np.array([0.3, 0.3]))
+        # Direct check for one observation.
+        i = 11
+        from repro.kernels import get_kernel
+
+        kern = get_kernel("epanechnikov")
+        w = kern((x[i, 0] - x[:, 0]) / 0.3) * kern((x[i, 1] - x[:, 1]) / 0.3)
+        w[i] = 0.0
+        assert g_loo[i] == pytest.approx((w @ y) / w.sum())
+
+    def test_empty_window_invalid(self):
+        x = np.array([[0.0, 0.0], [0.1, 0.1], [5.0, 5.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        est, valid = mv_nw_estimate(x, y, np.array([[5.0, 5.0]]), 0.5)
+        # Only the isolated point itself is in window at (5,5).
+        assert valid[0]
+        assert est[0] == pytest.approx(3.0)
+
+    def test_dimension_mismatch_rejected(self, bivariate):
+        x, y = bivariate
+        with pytest.raises(ValidationError):
+            mv_nw_estimate(x, y, np.array([[0.5]]), 0.3)
+
+    def test_recovers_additive_surface(self, bivariate):
+        x, y = bivariate
+        at = np.array([[0.5, 0.5], [0.3, 0.7]])
+        est, _ = mv_nw_estimate(x, y, at, np.array([0.2, 0.2]))
+        truth = at[:, 0] + 2.0 * at[:, 1]
+        np.testing.assert_allclose(est, truth, atol=0.15)
+
+    def test_chunking_invariance(self, bivariate):
+        x, y = bivariate
+        a = mv_cv_score(x, y, 0.25, chunk_rows=200)
+        b = mv_cv_score(x, y, 0.25, chunk_rows=7)
+        assert a == pytest.approx(b)

@@ -1,0 +1,68 @@
+"""Unit tests for multivariate validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataShapeError
+from repro.multivariate import (
+    as_design_matrix,
+    check_multivariate_sample,
+    ensure_bandwidth_vector,
+)
+
+
+class TestDesignMatrix:
+    def test_2d_passes_through(self):
+        x = as_design_matrix(np.ones((5, 3)))
+        assert x.shape == (5, 3)
+        assert x.dtype == np.float64
+
+    def test_1d_promoted_to_column(self):
+        x = as_design_matrix(np.arange(4.0))
+        assert x.shape == (4, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(DataShapeError):
+            as_design_matrix(np.ones((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            as_design_matrix(np.ones((0, 2)))
+
+    def test_nan_rejected(self):
+        bad = np.ones((3, 2))
+        bad[1, 1] = np.nan
+        with pytest.raises(DataShapeError):
+            as_design_matrix(bad)
+
+
+class TestMultivariateSample:
+    def test_valid_pair(self):
+        x, y = check_multivariate_sample(np.ones((5, 2)), np.arange(5.0))
+        assert x.shape == (5, 2) and y.shape == (5,)
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(DataShapeError):
+            check_multivariate_sample(np.ones((5, 2)), np.arange(4.0))
+
+    def test_min_size(self):
+        with pytest.raises(DataShapeError):
+            check_multivariate_sample(np.ones((2, 2)), np.arange(2.0))
+
+
+class TestBandwidthVector:
+    def test_scalar_broadcasts(self):
+        np.testing.assert_array_equal(ensure_bandwidth_vector(0.5, 3), [0.5] * 3)
+
+    def test_vector_validated(self):
+        np.testing.assert_array_equal(
+            ensure_bandwidth_vector([0.1, 0.2], 2), [0.1, 0.2]
+        )
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DataShapeError):
+            ensure_bandwidth_vector([0.1, 0.2], 3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(DataShapeError):
+            ensure_bandwidth_vector([0.1, 0.0], 2)

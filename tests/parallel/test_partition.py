@@ -1,0 +1,43 @@
+"""Tests for the work partitioner."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.parallel import balanced_blocks
+
+
+class TestBalancedBlocks:
+    def test_even_split(self):
+        assert balanced_blocks(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_spread_to_front(self):
+        assert balanced_blocks(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_items(self):
+        blocks = balanced_blocks(3, 10)
+        assert blocks == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_total(self):
+        assert balanced_blocks(0, 4) == []
+
+    def test_single_part(self):
+        assert balanced_blocks(7, 1) == [(0, 7)]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValidationError):
+            balanced_blocks(-1, 2)
+
+    def test_nonpositive_parts_rejected(self):
+        with pytest.raises(ValidationError):
+            balanced_blocks(5, 0)
+
+    @given(total=st.integers(0, 2000), parts=st.integers(1, 64))
+    def test_blocks_partition_exactly_and_balance(self, total, parts):
+        blocks = balanced_blocks(total, parts)
+        covered = [i for lo, hi in blocks for i in range(lo, hi)]
+        assert covered == list(range(total))
+        if blocks:
+            sizes = [hi - lo for lo, hi in blocks]
+            assert max(sizes) - min(sizes) <= 1
+            assert 0 not in sizes

@@ -1,0 +1,106 @@
+"""Tests for the process-pool substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.parallel import WorkerPool, available_workers, parallel_sum
+
+
+def _square(v):
+    return v * v
+
+
+def _block_vector(scale, start, stop):
+    return scale * np.arange(start, stop, dtype=float)
+
+
+class TestAvailableWorkers:
+    def test_explicit_request_honoured(self):
+        assert available_workers(3) == 3
+
+    def test_default_positive(self):
+        assert available_workers() >= 1
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError):
+            available_workers(0)
+
+
+class TestWorkerPoolLifecycle:
+    def test_context_manager_opens_and_closes(self):
+        with WorkerPool(2) as pool:
+            assert pool.is_open or pool.workers == 1
+        assert not pool.is_open
+
+    def test_open_idempotent(self):
+        pool = WorkerPool(2)
+        try:
+            pool.open()
+            pool.open()
+            assert pool.is_open
+        finally:
+            pool.close()
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(2)
+        pool.open()
+        pool.close()
+        pool.close()
+        assert not pool.is_open
+
+
+class TestExecution:
+    def test_map_parallel(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_map_serial_fallback(self):
+        assert WorkerPool(1).map(_square, [2, 3]) == [4, 9]
+
+    def test_starmap(self):
+        with WorkerPool(2) as pool:
+            got = pool.starmap(_block_vector, [(2.0, 0, 3), (3.0, 3, 5)])
+        np.testing.assert_array_equal(got[0], [0.0, 2.0, 4.0])
+        np.testing.assert_array_equal(got[1], [9.0, 12.0])
+
+    def test_sum_over_blocks_reduces_vectors(self):
+        # 2 equal blocks of 5 rows: the reduce adds the two 5-vectors.
+        with WorkerPool(2) as pool:
+            total = pool.sum_over_blocks(_block_vector, 10, shared_args=(1.0,))
+        np.testing.assert_array_equal(
+            total, np.arange(0, 5, dtype=float) + np.arange(5, 10, dtype=float)
+        )
+
+    def test_sum_over_blocks_custom_block_args(self):
+        with WorkerPool(2) as pool:
+            total = pool.sum_over_blocks(
+                _scalar_block,
+                60,
+                block_args=lambda lo, hi: (3.0, lo, hi),
+            )
+        assert total == 3.0 * sum(range(60))
+
+    def test_sum_over_blocks_scalar(self):
+        def args_for(start, stop):
+            return (1.0, start, stop)
+
+        with WorkerPool(2) as pool:
+            total = pool.sum_over_blocks(
+                _scalar_block, 100, shared_args=(1.0,)
+            )
+        assert total == sum(range(100))
+
+
+def _scalar_block(scale, start, stop):
+    return scale * sum(range(start, stop))
+
+
+class TestParallelSum:
+    def test_one_shot_helper(self):
+        total = parallel_sum(_scalar_block, 50, shared_args=(2.0,), workers=2)
+        assert total == 2.0 * sum(range(50))
+
+    def test_single_worker_path(self):
+        total = parallel_sum(_scalar_block, 50, shared_args=(1.0,), workers=1)
+        assert total == sum(range(50))

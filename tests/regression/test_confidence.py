@@ -1,0 +1,77 @@
+"""Tests for the LOO-CV confidence bands."""
+
+import numpy as np
+import pytest
+
+from repro.data import linear_dgp, paper_dgp
+from repro.exceptions import ValidationError
+from repro.regression import loo_confidence_band
+
+
+class TestBandGeometry:
+    def test_band_brackets_estimate(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0.1, 0.9, 9)
+        band = loo_confidence_band(s.x, s.y, at, 0.15)
+        ok = band.valid
+        assert (band.lower[ok] <= band.estimate[ok]).all()
+        assert (band.estimate[ok] <= band.upper[ok]).all()
+
+    def test_higher_level_widens_band(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0.2, 0.8, 7)
+        b90 = loo_confidence_band(s.x, s.y, at, 0.15, level=0.90)
+        b99 = loo_confidence_band(s.x, s.y, at, 0.15, level=0.99)
+        assert (b99.width >= b90.width).all()
+
+    def test_more_data_narrows_band(self):
+        at = np.array([0.5])
+        widths = []
+        for n in (200, 2000):
+            s = paper_dgp(n, seed=1)
+            band = loo_confidence_band(s.x, s.y, at, 0.1)
+            widths.append(band.width[0])
+        assert widths[1] < widths[0]
+
+    def test_empty_window_invalid(self):
+        x = np.array([0.0, 0.1, 0.2])
+        y = np.array([1.0, 2.0, 3.0])
+        band = loo_confidence_band(x, y, np.array([7.0]), 0.3)
+        assert not band.valid[0]
+        assert np.isnan(band.lower[0])
+
+    def test_level_validated(self, paper_sample_small):
+        s = paper_sample_small
+        with pytest.raises(ValidationError):
+            loo_confidence_band(s.x, s.y, np.array([0.5]), 0.2, level=1.5)
+
+    def test_bandwidth_validated(self, paper_sample_small):
+        s = paper_sample_small
+        with pytest.raises(ValidationError):
+            loo_confidence_band(s.x, s.y, np.array([0.5]), -0.2)
+
+
+class TestCoverage:
+    def test_coverage_near_nominal_on_linear_data(self):
+        # Monte Carlo: 95% pointwise bands on easy data should cover the
+        # truth in the large majority of draws.
+        at = np.linspace(0.2, 0.8, 13)
+        hits = []
+        for seed in range(30):
+            s = linear_dgp(400, noise=0.3, seed=seed)
+            band = loo_confidence_band(s.x, s.y, at, 0.25)
+            hits.append(band.coverage_of(s.true_mean(at)))
+        mean_coverage = float(np.mean(hits))
+        assert mean_coverage > 0.80
+
+    def test_coverage_shape_mismatch_rejected(self, paper_sample_small):
+        s = paper_sample_small
+        band = loo_confidence_band(s.x, s.y, np.array([0.4, 0.6]), 0.2)
+        with pytest.raises(ValidationError):
+            band.coverage_of(np.array([1.0]))
+
+    def test_coverage_nan_when_nothing_valid(self):
+        x = np.array([0.0, 0.05, 0.1])
+        y = np.array([1.0, 2.0, 3.0])
+        band = loo_confidence_band(x, y, np.array([9.0]), 0.2)
+        assert np.isnan(band.coverage_of(np.array([0.0])))

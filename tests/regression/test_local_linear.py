@@ -1,0 +1,83 @@
+"""Tests for the local linear estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data import heteroskedastic_dgp, linear_dgp
+from repro.exceptions import SelectionError, ValidationError
+from repro.regression import LocalLinear, local_linear_estimate, nw_estimate
+
+
+class TestLocalLinearEstimate:
+    def test_reproduces_exact_line(self):
+        # A local linear fit of noiseless linear data is exact at every
+        # point and every bandwidth — the defining property.
+        x = np.linspace(0, 1, 60)
+        y = 2.0 + 3.0 * x
+        at = np.linspace(0.05, 0.95, 7)
+        est, valid = local_linear_estimate(x, y, at, 0.3)
+        assert valid.all()
+        np.testing.assert_allclose(est, 2.0 + 3.0 * at, rtol=1e-10)
+
+    def test_boundary_bias_smaller_than_nw(self):
+        # Noiseless steep line: NW flattens at the boundary, LL does not.
+        x = np.linspace(0, 1, 200)
+        y = 5.0 * x
+        at = np.array([0.0])
+        ll, _ = local_linear_estimate(x, y, at, 0.2)
+        nw, _ = nw_estimate(x, y, at, 0.2)
+        assert abs(ll[0] - 0.0) < 1e-9
+        assert abs(nw[0] - 0.0) > 0.1
+
+    def test_empty_window_invalid(self):
+        x = np.array([0.0, 0.1, 0.2])
+        y = np.array([1.0, 2.0, 3.0])
+        est, valid = local_linear_estimate(x, y, np.array([9.0]), 0.5)
+        assert not valid[0] and np.isnan(est[0])
+
+    def test_singular_window_detected(self):
+        # All in-window x identical: slope unidentified.
+        x = np.array([0.5, 0.5, 0.5, 2.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        est, valid = local_linear_estimate(x, y, np.array([0.5]), 0.3)
+        assert not valid[0]
+
+    def test_bandwidth_validation(self):
+        x = np.linspace(0, 1, 10)
+        with pytest.raises(ValidationError):
+            local_linear_estimate(x, x, x, 0.0)
+
+    def test_chunking_invariance(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0, 1, 101)
+        a, _ = local_linear_estimate(s.x, s.y, at, 0.15)
+        b, _ = local_linear_estimate(s.x, s.y, at, 0.15, chunk_rows=9)
+        np.testing.assert_allclose(a, b)
+
+
+class TestLocalLinearModel:
+    def test_fit_predict_workflow(self):
+        s = heteroskedastic_dgp(600, seed=4)
+        model = LocalLinear(n_bandwidths=25).fit(s.x, s.y)
+        at = np.linspace(0.1, 0.9, 9)
+        rmse = np.sqrt(np.nanmean((model.predict(at) - s.true_mean(at)) ** 2))
+        assert rmse < 0.15
+
+    def test_fixed_bandwidth(self):
+        s = linear_dgp(100, seed=0)
+        model = LocalLinear(bandwidth=0.4).fit(s.x, s.y)
+        assert model.bandwidth == 0.4
+
+    def test_unfitted_raises(self):
+        with pytest.raises(SelectionError):
+            LocalLinear(bandwidth=0.2).predict(np.array([0.1]))
+
+    def test_residuals_near_zero_for_noiseless_line(self):
+        x = np.linspace(0, 1, 80)
+        y = 1.0 - 2.0 * x
+        model = LocalLinear(bandwidth=0.3).fit(x, y)
+        assert np.abs(model.residuals()).max() < 1e-9
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            LocalLinear(bandwidth=-1.0)

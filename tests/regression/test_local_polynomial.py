@@ -1,0 +1,123 @@
+"""Tests for general-degree local polynomial regression."""
+
+import numpy as np
+import pytest
+
+from repro.data import sine_dgp
+from repro.exceptions import SelectionError, ValidationError
+from repro.regression import (
+    LocalPolynomial,
+    local_linear_estimate,
+    local_polynomial_estimate,
+    nw_estimate,
+)
+
+
+class TestDegreeConsistency:
+    def test_degree0_equals_nadaraya_watson(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0.1, 0.9, 9)
+        lp, lp_ok = local_polynomial_estimate(s.x, s.y, at, 0.2, degree=0)
+        nw, nw_ok = nw_estimate(s.x, s.y, at, 0.2)
+        np.testing.assert_allclose(lp[lp_ok], nw[nw_ok], rtol=1e-9)
+
+    def test_degree1_equals_local_linear(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0.1, 0.9, 9)
+        lp, _ = local_polynomial_estimate(s.x, s.y, at, 0.2, degree=1)
+        ll, _ = local_linear_estimate(s.x, s.y, at, 0.2)
+        np.testing.assert_allclose(lp, ll, rtol=1e-6)
+
+    def test_degree2_exact_on_quadratic(self):
+        x = np.linspace(0, 1, 80)
+        y = 1.0 + 2.0 * x - 5.0 * x**2
+        at = np.linspace(0.05, 0.95, 7)
+        est, valid = local_polynomial_estimate(x, y, at, 0.3, degree=2)
+        assert valid.all()
+        np.testing.assert_allclose(est, 1.0 + 2.0 * at - 5.0 * at**2, atol=1e-8)
+
+    def test_degree2_less_peak_bias_than_linear(self):
+        # At the peak of a sine, local linear attenuates; quadratic does not.
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, 4000)
+        y = np.sin(np.pi * x) + rng.normal(0, 0.1, 4000)
+        at = np.array([0.5])  # the peak
+        h = 0.25
+        ll, _ = local_polynomial_estimate(x, y, at, h, degree=1)
+        lq, _ = local_polynomial_estimate(x, y, at, h, degree=2)
+        assert abs(lq[0] - 1.0) < abs(ll[0] - 1.0)
+
+
+class TestDerivatives:
+    def test_derivatives_of_known_quadratic(self):
+        x = np.linspace(0, 1, 100)
+        y = 3.0 * x**2
+        at = np.array([0.5])
+        der, valid = local_polynomial_estimate(
+            x, y, at, 0.3, degree=2, return_derivatives=True
+        )
+        assert valid[0]
+        np.testing.assert_allclose(der[0], [0.75, 3.0, 6.0], atol=1e-4)
+
+
+class TestRobustness:
+    def test_empty_window_invalid(self):
+        x = np.array([0.0, 0.1, 0.2])
+        y = np.array([1.0, 2.0, 3.0])
+        est, valid = local_polynomial_estimate(x, y, np.array([9.0]), 0.3, degree=2)
+        assert not valid[0]
+        assert np.isnan(est[0])
+
+    def test_underdetermined_window_flagged(self):
+        # Two distinct in-window X values cannot identify a quadratic.
+        x = np.array([0.5, 0.5, 0.6, 5.0])
+        y = np.array([1.0, 1.1, 2.0, 0.0])
+        est, valid = local_polynomial_estimate(
+            x, y, np.array([0.55]), 0.2, degree=3
+        )
+        # Either flagged invalid or solved by the ridge to something sane.
+        if valid[0]:
+            assert abs(est[0]) < 100.0
+
+    def test_bandwidth_validated(self):
+        x = np.linspace(0, 1, 10)
+        with pytest.raises(ValidationError):
+            local_polynomial_estimate(x, x, x, -0.1)
+
+    def test_chunking_invariance(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0, 1, 50)
+        a, _ = local_polynomial_estimate(s.x, s.y, at, 0.2, degree=2)
+        b, _ = local_polynomial_estimate(
+            s.x, s.y, at, 0.2, degree=2, chunk_rows=7
+        )
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+
+class TestModelInterface:
+    def test_fit_predict(self):
+        s = sine_dgp(500, seed=1)
+        model = LocalPolynomial(degree=2, n_bandwidths=25).fit(s.x, s.y)
+        at = np.linspace(0.2, 0.8, 7)
+        rmse = np.sqrt(np.nanmean((model.predict(at) - s.true_mean(at)) ** 2))
+        assert rmse < 0.25
+
+    def test_fixed_bandwidth(self, paper_sample_small):
+        s = paper_sample_small
+        model = LocalPolynomial(degree=2, bandwidth=0.3).fit(s.x, s.y)
+        assert model.bandwidth == 0.3
+
+    def test_derivatives_method(self):
+        x = np.linspace(0, 1, 200)
+        y = x**2
+        model = LocalPolynomial(degree=2, bandwidth=0.3).fit(x, y)
+        der = model.derivatives(np.array([0.5]))
+        np.testing.assert_allclose(der[0, 1], 1.0, atol=1e-6)  # g' = 2x
+
+    def test_unfitted_raises(self):
+        with pytest.raises(SelectionError):
+            LocalPolynomial(bandwidth=0.2).predict(np.array([0.5]))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValidationError):
+            LocalPolynomial(degree=-1)

@@ -1,0 +1,119 @@
+"""Tests for the Nadaraya–Watson estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.selectors import RuleOfThumbSelector
+from repro.data import linear_dgp, paper_dgp
+from repro.exceptions import SelectionError, ValidationError
+from repro.regression import NadarayaWatson, nw_estimate
+
+
+class TestNwEstimate:
+    def test_weighted_average_by_hand(self):
+        # Uniform kernel, h=1: estimate at 0.5 averages all y with |dx|<=1.
+        x = np.array([0.0, 0.5, 1.0])
+        y = np.array([3.0, 6.0, 9.0])
+        est, valid = nw_estimate(x, y, np.array([0.5]), 1.0, "uniform")
+        assert est[0] == pytest.approx(6.0)
+        assert valid[0]
+
+    def test_empty_window_is_nan_invalid(self):
+        x = np.array([0.0, 0.1, 0.2])
+        y = np.array([1.0, 2.0, 3.0])
+        est, valid = nw_estimate(x, y, np.array([5.0]), 0.5)
+        assert np.isnan(est[0])
+        assert not valid[0]
+
+    def test_interpolates_constant_function(self):
+        x = np.linspace(0, 1, 50)
+        y = np.full(50, 7.0)
+        est, _ = nw_estimate(x, y, np.linspace(0.1, 0.9, 9), 0.3)
+        np.testing.assert_allclose(est, 7.0)
+
+    def test_estimate_is_convex_combination(self, rng):
+        x = rng.uniform(0, 1, 100)
+        y = rng.normal(0, 1, 100)
+        est, valid = nw_estimate(x, y, np.linspace(0, 1, 11), 0.2)
+        assert (est[valid] >= y.min() - 1e-12).all()
+        assert (est[valid] <= y.max() + 1e-12).all()
+
+    def test_bandwidth_must_be_positive(self):
+        x = np.array([0.0, 0.5, 1.0])
+        with pytest.raises(ValidationError):
+            nw_estimate(x, x, x, -0.1)
+
+    def test_chunking_invariance(self, paper_sample_medium):
+        s = paper_sample_medium
+        at = np.linspace(0, 1, 200)
+        a, _ = nw_estimate(s.x, s.y, at, 0.1)
+        b, _ = nw_estimate(s.x, s.y, at, 0.1, chunk_rows=13)
+        np.testing.assert_allclose(a, b)
+
+
+class TestNadarayaWatsonModel:
+    def test_fit_selects_bandwidth(self, paper_sample_medium):
+        s = paper_sample_medium
+        model = NadarayaWatson(n_bandwidths=20).fit(s.x, s.y)
+        assert model.bandwidth is not None
+        assert model.selection_ is not None
+        assert model.selection_.method == "grid-search"
+
+    def test_fixed_bandwidth_skips_selection(self, paper_sample_medium):
+        s = paper_sample_medium
+        model = NadarayaWatson(bandwidth=0.15).fit(s.x, s.y)
+        assert model.bandwidth == 0.15
+        assert model.selection_ is None
+
+    def test_custom_selector_used(self, paper_sample_medium):
+        s = paper_sample_medium
+        model = NadarayaWatson(selector=RuleOfThumbSelector()).fit(s.x, s.y)
+        assert model.selection_.method == "rule-of-thumb"
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(SelectionError, match="not fitted"):
+            NadarayaWatson(bandwidth=0.1).predict(np.array([0.5]))
+
+    def test_predict_tracks_truth(self):
+        s = paper_dgp(3000, seed=8)
+        model = NadarayaWatson(n_bandwidths=50).fit(s.x, s.y)
+        at = np.linspace(0.1, 0.9, 17)
+        rmse = np.sqrt(np.mean((model.predict(at) - s.true_mean(at)) ** 2))
+        assert rmse < 0.1
+
+    def test_loo_fitted_values_match_loocv_module(self, paper_sample_small):
+        from repro.core.loocv import loo_estimates
+
+        s = paper_sample_small
+        model = NadarayaWatson(bandwidth=0.2).fit(s.x, s.y)
+        got, mask = model.loo_fitted_values()
+        expected, expected_mask = loo_estimates(s.x, s.y, 0.2)
+        np.testing.assert_allclose(got[mask], expected[expected_mask])
+
+    def test_cv_score_consistency(self, paper_sample_small):
+        from repro.core.loocv import cv_score
+
+        s = paper_sample_small
+        model = NadarayaWatson(bandwidth=0.2).fit(s.x, s.y)
+        assert model.cv_score() == pytest.approx(cv_score(s.x, s.y, 0.2))
+
+    def test_r_squared_high_on_strong_signal(self):
+        s = linear_dgp(1000, noise=0.05, seed=2)
+        model = NadarayaWatson(n_bandwidths=30).fit(s.x, s.y)
+        assert model.r_squared() > 0.95
+
+    def test_residuals_shape(self, paper_sample_medium):
+        s = paper_sample_medium
+        model = NadarayaWatson(bandwidth=0.1).fit(s.x, s.y)
+        assert model.residuals().shape == (s.n,)
+
+    def test_nonpositive_fixed_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            NadarayaWatson(bandwidth=0.0)
+
+    def test_predict_with_validity(self, paper_sample_medium):
+        s = paper_sample_medium
+        model = NadarayaWatson(bandwidth=0.05).fit(s.x, s.y)
+        est, valid = model.predict_with_validity(np.array([0.5, 40.0]))
+        assert valid[0] and not valid[1]
+        assert np.isnan(est[1])

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.k == 50
+        assert args.repetitions == 1
+
+    def test_sizes_parsing(self):
+        args = build_parser().parse_args(["table1", "--sizes", "100,500"])
+        assert args.sizes == "100,500"
+
+    def test_select_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["select", "--method", "magic"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "epanechnikov" in out
+        assert "tesla-s1070" in out
+        assert "cuda-gpu" in out
+
+    def test_select_grid(self, capsys):
+        assert main(["select", "--n", "200", "--k", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "grid-search" in out
+        assert "h*" in out
+
+    def test_select_rot_on_other_dgp(self, capsys):
+        assert main(["select", "--n", "200", "--method", "rot",
+                     "--dgp", "sine"]) == 0
+        assert "rule-of-thumb" in capsys.readouterr().out
+
+    def test_select_gpusim_backend(self, capsys):
+        assert main(["select", "--n", "150", "--k", "8",
+                     "--backend", "gpusim"]) == 0
+        assert "gpusim" in capsys.readouterr().out
+
+    def test_table1_tiny(self, capsys):
+        code = main([
+            "table1", "--sizes", "60,120", "--k", "6",
+            "--programs", "sequential-c,cuda-gpu",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "SHAPE REPORT" in out
+
+    def test_table2_tiny(self, capsys):
+        code = main([
+            "table2", "--sizes", "60,120", "--bandwidths", "5,20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PANEL A" in out and "PANEL B" in out
+
+    def test_fig1_tiny(self, capsys):
+        code = main(["fig1", "--sizes", "60,120", "--k", "6"])
+        assert code == 0
+        assert "FIG. 1" in capsys.readouterr().out
+
+    def test_fig1_output_artifacts(self, tmp_path, capsys):
+        code = main([
+            "fig1", "--sizes", "60", "--k", "5",
+            "--output", str(tmp_path / "figs"),
+        ])
+        assert code == 0
+        assert (tmp_path / "figs" / "figure1_series.csv").exists()
+        assert (tmp_path / "figs" / "figure1.json").exists()
+
+    def test_shape_tiny(self, capsys):
+        code = main(["shape", "--sizes", "100,400", "--k", "10"])
+        out = capsys.readouterr().out
+        assert "SHAPE REPORT" in out
+        assert code in (0, 1)

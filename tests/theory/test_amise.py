@@ -1,0 +1,133 @@
+"""Tests for the AMISE bandwidth theory."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.theory import (
+    gaussian_reference_kde_bandwidth,
+    kde_amise_bandwidth,
+    regression_amise_bandwidth,
+    roughness_of,
+)
+
+_SQRT_2PI = np.sqrt(2 * np.pi)
+
+
+def _normal_pdf(t):
+    t = np.asarray(t, dtype=float)
+    return np.exp(-0.5 * t * t) / _SQRT_2PI
+
+
+class TestRoughness:
+    def test_constant_function(self):
+        assert roughness_of(lambda t: np.full_like(t, 2.0), 0, 1) == pytest.approx(4.0)
+
+    def test_normal_density_roughness(self):
+        # R(phi) = 1/(2 sqrt(pi)).
+        assert roughness_of(_normal_pdf, -8, 8) == pytest.approx(
+            1 / (2 * np.sqrt(np.pi)), rel=1e-4
+        )
+
+    def test_second_derivative_roughness_of_normal(self):
+        # R(phi'') = 3/(8 sqrt(pi)).
+        got = roughness_of(_normal_pdf, -8, 8, derivative=2, grid_points=16385)
+        assert got == pytest.approx(3 / (8 * np.sqrt(np.pi)), rel=1e-2)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            roughness_of(_normal_pdf, 1.0, 0.0)
+
+
+class TestKdeAmise:
+    def test_gaussian_reference_textbook_constant(self):
+        # h* = (4/3)^{1/5} sigma n^{-1/5} ~ 1.0592 sigma n^{-1/5}.
+        h = gaussian_reference_kde_bandwidth(1.0, 100_000)
+        assert h == pytest.approx((4.0 / 3.0) ** 0.2 * 100_000 ** (-0.2), rel=1e-6)
+
+    def test_scales_with_sigma(self):
+        assert gaussian_reference_kde_bandwidth(
+            2.0, 1000
+        ) == pytest.approx(2.0 * gaussian_reference_kde_bandwidth(1.0, 1000))
+
+    def test_numeric_matches_reference_for_normal(self):
+        numeric = kde_amise_bandwidth(_normal_pdf, 5000, kernel="gaussian")
+        closed = gaussian_reference_kde_bandwidth(1.0, 5000)
+        assert numeric == pytest.approx(closed, rel=0.02)
+
+    def test_epanechnikov_needs_larger_h(self):
+        # Canonical-bandwidth ordering: compact kernels need bigger h.
+        gauss = kde_amise_bandwidth(_normal_pdf, 1000, kernel="gaussian")
+        epan = kde_amise_bandwidth(_normal_pdf, 1000, kernel="epanechnikov")
+        assert epan > 2.0 * gauss
+
+    def test_n_rate(self):
+        h1 = gaussian_reference_kde_bandwidth(1.0, 1000)
+        h2 = gaussian_reference_kde_bandwidth(1.0, 32 * 1000)
+        assert h2 == pytest.approx(h1 / 2.0)  # 32^{-1/5} = 1/2
+
+    def test_flat_density_rejected(self):
+        with pytest.raises(ValidationError):
+            kde_amise_bandwidth(
+                lambda t: np.full_like(np.asarray(t, dtype=float), 0.5),
+                100,
+                support=(-1, 1),
+            )
+
+    def test_sigma_validated(self):
+        with pytest.raises(ValidationError):
+            gaussian_reference_kde_bandwidth(0.0, 100)
+
+
+class TestRegressionAmise:
+    def _paper_mean(self, t):
+        t = np.asarray(t, dtype=float)
+        return 0.5 * t + 10.0 * t * t + 0.25
+
+    def test_paper_dgp_bandwidth_scale(self):
+        # g'' = 20, uniform design, sigma^2 = 0.5^2/12: the closed form is
+        # h* = [0.6 * sigma^2 / (4 * (1/25) * 400)]^{1/5} n^{-1/5}.
+        sigma2 = 0.25 / 12.0
+        n = 2000
+        expected = (0.6 * sigma2 / (4.0 * (1.0 / 25.0) * 400.0)) ** 0.2 * n ** (-0.2)
+        got = regression_amise_bandwidth(
+            self._paper_mean, n, noise_variance=sigma2
+        )
+        assert got == pytest.approx(expected, rel=0.02)
+
+    def test_cv_selection_lands_near_amise(self):
+        # Finite-sample CV optimum within a factor ~2.5 of the asymptotic
+        # target on the paper's DGP.
+        from repro.core import GridSearchSelector
+        from repro.data import paper_dgp
+
+        n = 2000
+        h_star = regression_amise_bandwidth(
+            self._paper_mean, n, noise_variance=0.25 / 12.0
+        )
+        s = paper_dgp(n, seed=0)
+        res = GridSearchSelector(n_bandwidths=200).select(s.x, s.y)
+        assert h_star / 2.5 < res.bandwidth < h_star * 2.5
+
+    def test_wigglier_mean_needs_smaller_h(self):
+        smooth = regression_amise_bandwidth(
+            lambda t: np.sin(2 * np.asarray(t)), 1000, noise_variance=0.1
+        )
+        wiggly = regression_amise_bandwidth(
+            lambda t: np.sin(10 * np.asarray(t)), 1000, noise_variance=0.1
+        )
+        assert wiggly < smooth
+
+    def test_linear_mean_rejected(self):
+        with pytest.raises(ValidationError, match="unbounded"):
+            regression_amise_bandwidth(
+                lambda t: 2.0 * np.asarray(t, dtype=float),
+                1000,
+                noise_variance=0.1,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            regression_amise_bandwidth(self._paper_mean, 1, noise_variance=0.1)
+        with pytest.raises(ValidationError):
+            regression_amise_bandwidth(self._paper_mean, 100, noise_variance=0.0)

@@ -1,0 +1,68 @@
+"""Tests for the Monte Carlo selector-study harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridSearchSelector, RuleOfThumbSelector
+from repro.data import paper_dgp
+from repro.exceptions import ValidationError
+from repro.theory import SelectorStudy, fit_mise
+
+
+class TestFitMise:
+    def test_better_bandwidth_lower_mise(self):
+        s = paper_dgp(800, seed=0)
+        good = fit_mise(s, 0.05)
+        oversmoothed = fit_mise(s, 1.0)
+        assert good < oversmoothed
+
+    def test_nonnegative(self):
+        s = paper_dgp(200, seed=1)
+        assert fit_mise(s, 0.2) >= 0.0
+
+    def test_trim_bounds_checked(self):
+        s = paper_dgp(50, seed=2)
+        with pytest.raises(ValidationError):
+            fit_mise(s, 0.2, trim=0.5)
+
+
+class TestSelectorStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        study = SelectorStudy(paper_dgp, n=200, replications=6, base_seed=42)
+        study.run(
+            {
+                "grid": GridSearchSelector(n_bandwidths=25),
+                "rot": RuleOfThumbSelector(),
+            }
+        )
+        return study
+
+    def test_results_per_selector(self, study):
+        assert set(study.results) == {"grid", "rot"}
+        for result in study.results.values():
+            assert result.replications == 6
+            assert (result.bandwidths > 0).all()
+
+    def test_cv_selection_beats_rot_mise(self, study):
+        assert (
+            study.results["grid"].mises.mean()
+            < study.results["rot"].mises.mean()
+        )
+
+    def test_summary_fields(self, study):
+        s = study.results["grid"].summary()
+        assert {"h_mean", "h_sd", "mise_mean", "cv_mean"} <= set(s)
+        assert s["h_min"] <= s["h_mean"] <= s["h_max"]
+
+    def test_report_renders(self, study):
+        text = study.report()
+        assert "grid" in text and "rot" in text
+
+    def test_unrun_study_report(self):
+        assert "not been run" in SelectorStudy(paper_dgp).report()
+
+    def test_selected_bandwidths_concentrate(self, study):
+        # Paired draws + deterministic selector: modest dispersion.
+        result = study.results["grid"]
+        assert result.bandwidths.std() < result.bandwidths.mean()

@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.timer."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Stopwatch, TimingRecord, time_callable
+
+
+class TestStopwatch:
+    def test_segment_records_elapsed(self):
+        sw = Stopwatch()
+        with sw.segment("sleep"):
+            time.sleep(0.01)
+        assert sw.elapsed("sleep") >= 0.009
+
+    def test_segments_accumulate_on_reentry(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.segment("work"):
+                time.sleep(0.003)
+        assert sw.elapsed("work") >= 0.008
+
+    def test_unknown_segment_is_zero(self):
+        assert Stopwatch().elapsed("missing") == 0.0
+
+    def test_total_sums_all_segments(self):
+        sw = Stopwatch()
+        sw.segments = {"a": 1.0, "b": 2.0}
+        assert sw.total() == pytest.approx(3.0)
+
+    def test_total_exclusion(self):
+        sw = Stopwatch()
+        sw.segments = {"a": 1.0, "b": 2.0, "setup": 5.0}
+        assert sw.total(exclude=("setup",)) == pytest.approx(3.0)
+
+    def test_segment_recorded_even_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.segment("boom"):
+                raise RuntimeError("x")
+        assert "boom" in sw.segments
+
+
+class TestTimeCallable:
+    def test_returns_value_and_record(self):
+        value, record = time_callable(lambda: 42, label="answer")
+        assert value == 42
+        assert isinstance(record, TimingRecord)
+        assert record.label == "answer"
+        assert record.seconds >= 0.0
+
+    def test_repetitions_run_and_divide(self):
+        calls = []
+        _, record = time_callable(lambda: calls.append(1), repetitions=5)
+        assert len(calls) == 5
+        assert record.repetitions == 5
+        assert record.per_call == pytest.approx(record.seconds / 5)
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repetitions=0)
+
+
+class TestTimingRecord:
+    def test_per_call_guards_zero_repetitions(self):
+        rec = TimingRecord(label="x", seconds=1.0, repetitions=0)
+        assert rec.per_call == 1.0
