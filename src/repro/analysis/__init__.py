@@ -1,0 +1,43 @@
+"""Project-aware static analysis (``repro-lint``).
+
+A small AST-based lint framework tuned to the failure modes of this
+reproduction: numerical-correctness hazards (exact float equality around
+the CV argmin, implicit dtypes that break the float32/float64 ablation),
+hot-path hygiene (allocations inside the O(n²) sweep loops), and
+parallel/device safety (unpicklable work units, nondeterministic
+simulated kernels).
+
+Public surface:
+
+* :class:`~repro.analysis.engine.LintEngine` — parse + rule dispatch
+* :class:`~repro.analysis.config.LintConfig` — project layout knobs
+* :class:`~repro.analysis.findings.Finding` — one diagnostic
+* :func:`~repro.analysis.rules.default_rules` / ``RULE_REGISTRY``
+* :mod:`repro.analysis.cli` — the ``repro-lint`` console script
+
+Suppress a finding in source with a trailing comment::
+
+    den != 0.0  # repro-lint: disable=NUM001
+
+or for a whole file with ``# repro-lint: disable-file=RULE`` on any line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintEngine, ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import RULE_REGISTRY, Rule, default_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "ModuleContext",
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,125 @@
+"""The ``repro-lint`` console script.
+
+Usage::
+
+    repro-lint src/                      # lint a tree, text report
+    repro-lint --format json src/repro   # machine-readable
+    repro-lint --select NUM001,NUM004 f.py
+    repro-lint --list-rules
+
+Exit status: 0 when clean, 1 when findings (or unparsable files) exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import RULE_REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+
+def _split_rules(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-aware static analysis for the repro codebase: "
+        "numerical correctness, hot-path hygiene, parallel/device safety.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "-f",
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=str,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, cls in sorted(RULE_REGISTRY.items()):
+        lines.append(f"{rule_id}  {cls.summary}")
+        lines.append(f"        {cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore)
+    unknown = sorted(
+        set((select or []) + (ignore or [])) - set(RULE_REGISTRY)
+    )
+    if unknown:
+        parser.error(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(RULE_REGISTRY))})"
+        )
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path does not exist: {', '.join(missing)}")
+    engine = LintEngine(select=select, ignore=ignore)
+    findings = engine.lint_paths(args.paths)
+    if args.format == "json":
+        _print(render_json(findings))
+    else:
+        _print(render_text(findings))
+    return 1 if findings else 0
+
+
+def _print(text: str) -> None:
+    """Print, exiting quietly when the reader (e.g. ``head``) hung up."""
+    try:
+        print(text)
+    except BrokenPipeError:  # pragma: no cover - pipeline plumbing
+        try:
+            sys.stdout.close()
+        finally:
+            raise SystemExit(0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Project-layout configuration for the lint rules.
+
+Module-scoped rules (hot-path allocation, API validation, device
+determinism) decide whether they apply to a file by matching its path
+*relative to the package root* against glob patterns.  The defaults
+below encode this repository's layout; tests construct custom configs to
+exercise rules against fixture snippets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatch
+from typing import Any, Mapping
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+
+
+def _tuple(values: Any) -> tuple[str, ...]:
+    return tuple(str(v) for v in values)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs shared by the rule set.
+
+    Path patterns are ``fnmatch`` globs matched against the
+    package-relative posix path (e.g. ``core/fastgrid.py``).
+    """
+
+    # -- module classification --------------------------------------------
+    #: O(n²)-sweep modules where per-iteration allocation is a perf bug.
+    hot_path_modules: tuple[str, ...] = (
+        "core/fastgrid.py",
+        "core/loocv.py",
+        "kde/lscv.py",
+        "gpusim/*.py",
+        "cuda_port/*.py",
+    )
+    #: Public entry-point modules whose array args must be validated.
+    api_modules: tuple[str, ...] = (
+        "core/api.py",
+        "kde/*.py",
+        "regression/*.py",
+        "multivariate/*.py",
+    )
+    #: Simulated-device modules that must stay deterministic.
+    gpu_modules: tuple[str, ...] = (
+        "gpusim/*.py",
+        "cuda_port/*.py",
+    )
+
+    # -- NUM004: allocations that must name their dtype -------------------
+    explicit_dtype_calls: tuple[str, ...] = (
+        "numpy.empty",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.full",
+    )
+
+    # -- NUM003: allocating calls that may not sit inside a loop ----------
+    loop_allocation_calls: tuple[str, ...] = (
+        "numpy.empty",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.arange",
+        "numpy.concatenate",
+        "numpy.stack",
+        "numpy.vstack",
+        "numpy.hstack",
+        "numpy.column_stack",
+    )
+
+    # -- NUM002: the validation funnel ------------------------------------
+    #: Terminal names of the helpers in ``repro.utils.validation`` /
+    #: ``repro.multivariate.validation`` that count as validating.
+    validator_names: tuple[str, ...] = (
+        "as_float_array",
+        "check_paired_samples",
+        "ensure_bandwidths",
+        "check_positive_int",
+        "check_probability",
+        "as_design_matrix",
+        "check_multivariate_sample",
+        "ensure_bandwidth_vector",
+    )
+    #: Parameter names that signal "this argument is a data array".
+    array_param_names: tuple[str, ...] = ("x", "y", "at", "data", "bandwidths")
+
+    # -- PAR001: process-pool submission points ---------------------------
+    pool_method_names: tuple[str, ...] = (
+        "map",
+        "starmap",
+        "sum_over_blocks",
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+    )
+    #: A method call counts as a pool submission when the receiver's
+    #: dotted name contains one of these substrings (case-insensitive).
+    pool_receiver_hints: tuple[str, ...] = ("pool",)
+    #: Free functions that take a work-unit callable as first argument.
+    pool_function_names: tuple[str, ...] = ("parallel_sum",)
+
+    # -- GPU001: nondeterminism sources banned on the device --------------
+    banned_call_prefixes: tuple[str, ...] = ("time.", "random.")
+    #: ``numpy.random.*`` members that are allowed (seeded construction).
+    allowed_numpy_random: tuple[str, ...] = (
+        "Generator",
+        "SeedSequence",
+        "default_rng",  # only with an explicit seed; the rule checks args
+    )
+
+    # -- misc --------------------------------------------------------------
+    #: Extra per-rule disables applied before CLI --select/--ignore.
+    disabled_rules: tuple[str, ...] = field(default_factory=tuple)
+
+    def matches(self, rel_path: str, patterns: tuple[str, ...]) -> bool:
+        """Whether ``rel_path`` (posix, package-relative) matches any glob."""
+        return any(fnmatch(rel_path, pat) for pat in patterns)
+
+    def with_overrides(self, **overrides: Any) -> "LintConfig":
+        """A copy with the given fields replaced (tuples coerced)."""
+        clean = {
+            key: _tuple(value) if isinstance(value, (list, tuple, set)) else value
+            for key, value in overrides.items()
+        }
+        return replace(self, **clean)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "LintConfig":
+        """Build a config from e.g. a parsed ``[tool.repro-lint]`` table."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(mapping) - known
+        if unknown:
+            raise ValueError(f"unknown repro-lint config keys: {sorted(unknown)}")
+        return DEFAULT_CONFIG.with_overrides(**dict(mapping))
+
+
+DEFAULT_CONFIG = LintConfig()

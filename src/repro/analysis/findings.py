@@ -1,0 +1,41 @@
+"""The diagnostic record emitted by every rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding", "SYNTAX_RULE_ID"]
+
+#: Pseudo-rule id used when a file cannot be parsed at all.  It is not a
+#: registered rule and cannot be suppressed.
+SYNTAX_RULE_ID = "E901"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation anchored to a source location.
+
+    Ordering is (path, line, col, rule_id) so sorted findings read like a
+    compiler log.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (stable key order for the reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

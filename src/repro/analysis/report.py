@@ -1,0 +1,44 @@
+"""Reporters: compiler-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_REGISTRY
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding], *, summary: bool = True) -> str:
+    """``path:line:col: RULE message`` per finding, plus a tally line."""
+    lines = [f.format() for f in findings]
+    if summary:
+        if findings:
+            counts = Counter(f.rule_id for f in findings)
+            tally = ", ".join(f"{rid}: {n}" for rid, n in sorted(counts.items()))
+            lines.append(f"{len(findings)} finding(s) ({tally})")
+        else:
+            lines.append("0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """JSON document with findings, per-rule counts, and rule metadata."""
+    counts = Counter(f.rule_id for f in findings)
+    rules = {
+        rule_id: {
+            "summary": cls.summary,
+            "rationale": cls.rationale,
+        }
+        for rule_id, cls in sorted(RULE_REGISTRY.items())
+    }
+    doc = {
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+        "rules": rules,
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,23 @@
+"""Rule registry: importing this package registers every built-in rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import RULE_REGISTRY, Rule, default_rules, register_rule
+from repro.analysis.rules.api import ValidationFunnelRule
+from repro.analysis.rules.gpu import DeviceDeterminismRule
+from repro.analysis.rules.hotpath import LoopAllocationRule
+from repro.analysis.rules.numeric import ExplicitDtypeRule, FloatEqualityRule
+from repro.analysis.rules.parallel import PicklableWorkUnitRule
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+    "register_rule",
+    "FloatEqualityRule",
+    "ValidationFunnelRule",
+    "LoopAllocationRule",
+    "ExplicitDtypeRule",
+    "PicklableWorkUnitRule",
+    "DeviceDeterminismRule",
+]

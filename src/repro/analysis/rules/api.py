@@ -1,0 +1,80 @@
+"""API-boundary hygiene: NUM002 (array args funnel through validation)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = ["ValidationFunnelRule"]
+
+
+@register_rule
+class ValidationFunnelRule(Rule):
+    """NUM002 — public entry points validate their array arguments.
+
+    The numerical code assumes clean, contiguous, finite float arrays
+    (validate once at the boundary, compute without checks in the hot
+    loops).  A public function in an entry-point module that accepts an
+    array-named parameter must call one of the validation helpers from
+    ``repro.utils.validation`` / ``repro.multivariate.validation``
+    somewhere in its body.
+
+    The rule checks *module-level* public functions; methods delegate to
+    functions or validate in ``fit`` and are out of scope.
+    """
+
+    rule_id = "NUM002"
+    summary = "public entry point takes array args but never validates them"
+    rationale = (
+        "Unvalidated NaN/ragged/object arrays slip past the boundary and "
+        "surface as wrong bandwidths instead of errors; every public entry "
+        "point funnels arrays through the validation helpers."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(ctx.config.api_modules)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        validators = frozenset(ctx.config.validator_names)
+        array_names = frozenset(ctx.config.array_param_names)
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not ctx.is_public(node.name):
+                continue
+            params = [
+                arg.arg
+                for arg in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                )
+            ]
+            array_params = sorted(set(params) & array_names)
+            if not array_params:
+                continue
+            if self._calls_validator(ctx, node, validators):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"public entry point {node.name!r} takes array argument(s) "
+                f"{', '.join(array_params)} but never calls a validation "
+                "helper (as_float_array, check_paired_samples, ...)",
+            )
+
+    @staticmethod
+    def _calls_validator(
+        ctx: ModuleContext, func: ast.AST, validators: frozenset[str]
+    ) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.canonical_name(node.func)
+            if name is not None and name.rpartition(".")[2] in validators:
+                return True
+        return False

@@ -1,0 +1,62 @@
+"""Rule protocol and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Type
+
+import ast
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "RULE_REGISTRY", "register_rule", "default_rules"]
+
+RULE_REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+class Rule(ABC):
+    """One lint rule.
+
+    Subclasses set ``rule_id``, ``summary`` (one line, shown by
+    ``--list-rules``) and ``rationale`` (why the pattern corrupts the
+    reproduction — surfaced in DESIGN.md and the JSON reporter), then
+    implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Module-scoped rules override this to restrict themselves."""
+        return True
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Yield findings for one module."""
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding the rule to :data:`RULE_REGISTRY`."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]

@@ -1,0 +1,73 @@
+"""Device determinism: GPU001 (no wall clocks or unseeded RNG on device)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = ["DeviceDeterminismRule"]
+
+_NUMPY_RANDOM_PREFIX = "numpy.random."
+
+
+@register_rule
+class DeviceDeterminismRule(Rule):
+    """GPU001 — simulated-device modules stay bit-deterministic.
+
+    The gpusim/cuda_port result tables are compared against CPU ground
+    truth; a wall-clock read or an unseeded RNG inside the device path
+    makes launches irreproducible and the float32 comparison meaningless.
+    Host-side *measurement* of wall time is allowed via an explicit
+    ``# repro-lint: disable=GPU001`` at the call site.
+    """
+
+    rule_id = "GPU001"
+    summary = "wall clock / unseeded randomness in a simulated-device module"
+    rationale = (
+        "Device kernels are validated bit-for-bit against the CPU path; "
+        "time.* and unseeded RNG make launches irreproducible.  Wall-time "
+        "measurement belongs to the host harness and is suppressed there "
+        "explicitly."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(ctx.config.gpu_modules)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name is None:
+                continue
+            message = self._violation(ctx, name, node)
+            if message is not None:
+                yield self.finding(ctx, node, message)
+
+    @staticmethod
+    def _violation(ctx: ModuleContext, name: str, node: ast.Call) -> str | None:
+        for prefix in ctx.config.banned_call_prefixes:
+            if name.startswith(prefix):
+                return (
+                    f"{name}() in a device module breaks launch determinism; "
+                    "keep wall clocks and stdlib randomness on the host"
+                )
+        if name.startswith(_NUMPY_RANDOM_PREFIX):
+            member = name[len(_NUMPY_RANDOM_PREFIX) :]
+            if member == "default_rng":
+                if not node.args and not node.keywords:
+                    return (
+                        "default_rng() without a seed in a device module; "
+                        "pass an explicit seed so launches replay"
+                    )
+                return None
+            if member not in ctx.config.allowed_numpy_random:
+                return (
+                    f"numpy.random.{member}() uses the legacy global RNG "
+                    "state; construct a seeded Generator instead"
+                )
+        return None

@@ -1,0 +1,53 @@
+"""Hot-path hygiene: NUM003 (no allocation inside sweep loops)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = ["LoopAllocationRule"]
+
+
+@register_rule
+class LoopAllocationRule(Rule):
+    """NUM003 — no array allocation inside loops of hot-path modules.
+
+    The O(n²) sweep modules iterate over row chunks, grid bandwidths and
+    polynomial terms; an allocator inside those loops turns a
+    memory-bandwidth-bound pass into an allocator-bound one.  Hoist the
+    buffer and fill it in place (``out[...] = ...``), or slice a
+    preallocated base array.
+    """
+
+    rule_id = "NUM003"
+    summary = "array allocation inside a loop of a hot-path module"
+    rationale = (
+        "Per-iteration allocation in the O(n²) sweeps (fastgrid, loocv, "
+        "lscv, simulated device) dominates runtime at paper-scale n; "
+        "buffers must be hoisted out of the loop."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(ctx.config.hot_path_modules)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        allocators = frozenset(ctx.config.loop_allocation_calls)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name not in allocators:
+                continue
+            loop = ctx.enclosing_loop(node)
+            if loop is None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{name.rpartition('.')[2]}() allocates inside the loop at "
+                f"line {loop.lineno}; hoist the buffer out of the hot path",
+            )

@@ -1,0 +1,124 @@
+"""Numerical-correctness rules: NUM001 (float equality), NUM004 (dtype)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = ["FloatEqualityRule", "ExplicitDtypeRule"]
+
+#: Canonical names of module-level float constants.
+_FLOAT_CONSTANTS = frozenset(
+    {
+        "numpy.nan",
+        "numpy.inf",
+        "numpy.pi",
+        "numpy.e",
+        "numpy.euler_gamma",
+        "math.nan",
+        "math.inf",
+        "math.pi",
+        "math.e",
+        "math.tau",
+    }
+)
+
+#: How many positional args cover the dtype slot of each allocator.
+_DTYPE_POSITION = {
+    "numpy.empty": 2,
+    "numpy.zeros": 2,
+    "numpy.ones": 2,
+    "numpy.full": 3,
+}
+
+
+def _is_float_like(ctx: ModuleContext, node: ast.AST) -> bool:
+    """Statically certainly-float expressions (constants and float())."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_like(ctx, node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_float_like(ctx, node.left) or _is_float_like(ctx, node.right)
+    if isinstance(node, ast.Call):
+        return ctx.canonical_name(node.func) == "float"
+    name = ctx.canonical_name(node)
+    return name in _FLOAT_CONSTANTS
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """NUM001 — no exact ``==``/``!=`` against float expressions.
+
+    The CV curve around its argmin is flat to ~1e-12; exact equality on
+    scores or bandwidths makes tie-breaking depend on summation order
+    (and therefore on chunking, backend, and thread count).
+    """
+
+    rule_id = "NUM001"
+    summary = "exact ==/!= comparison against a float expression"
+    rationale = (
+        "Float equality around the CV argmin makes the selected bandwidth "
+        "depend on summation order (chunking/backend/thread count); use "
+        "repro.utils.numeric.isclose/is_zero or an ordered comparison."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_float_like(ctx, left) or _is_float_like(ctx, right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact float equality; use repro.utils.numeric."
+                        "isclose/is_zero (or an ordered comparison) so ties "
+                        "do not depend on summation order",
+                    )
+                    break  # one finding per comparison chain
+
+
+@register_rule
+class ExplicitDtypeRule(Rule):
+    """NUM004 — array allocators must pass an explicit ``dtype``.
+
+    The paper's precision ablation (float32 GPU vs float64 CPU) only
+    means something if every buffer's dtype is chosen, not inherited
+    from numpy defaults that differ across platforms and inputs.
+    """
+
+    rule_id = "NUM004"
+    summary = "np.empty/np.zeros/np.ones/np.full without an explicit dtype"
+    rationale = (
+        "Implicit dtypes silently mix float32/float64 across backends and "
+        "invalidate the paper's single- vs double-precision comparison; "
+        "every allocation names its dtype."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        allocators = frozenset(ctx.config.explicit_dtype_calls)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name not in allocators:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) >= _DTYPE_POSITION.get(name, 2):
+                continue  # dtype passed positionally
+            yield self.finding(
+                ctx,
+                node,
+                f"{name.rpartition('.')[2]}() without an explicit dtype; "
+                "pass dtype=... so float32/float64 choices are deliberate",
+            )

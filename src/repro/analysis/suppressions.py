@@ -1,0 +1,64 @@
+"""``# repro-lint: disable=RULE`` suppression comments.
+
+Two forms, both parsed with a single regex over the raw source lines (no
+tokenizer round-trip needed — the marker is unambiguous enough that a
+string occurrence inside a literal would be a deliberate oddity):
+
+* ``# repro-lint: disable=NUM001`` (or ``disable=NUM001,PAR001`` or
+  ``disable=all``) — suppresses matching findings reported *on that
+  physical line*.
+* ``# repro-lint: disable-file=NUM003`` — suppresses the rule for the
+  whole file, from any line.
+
+The syntax-error pseudo-rule (``E901``) is never suppressible.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import SYNTAX_RULE_ID, Finding
+
+__all__ = ["SuppressionIndex"]
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+_ALL = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of suppressed rules, by line and file-wide."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan ``source`` for suppression comments."""
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "repro-lint" not in text:
+                continue
+            for match in _MARKER.finditer(text):
+                rules = {r.strip() for r in match.group("rules").split(",")}
+                if match.group("scope") == "disable-file":
+                    index.file_wide |= rules
+                else:
+                    index.by_line.setdefault(lineno, set()).update(rules)
+        return index
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a comment."""
+        if finding.rule_id == SYNTAX_RULE_ID:
+            return False
+        if _ALL in self.file_wide or finding.rule_id in self.file_wide:
+            return True
+        line_rules = self.by_line.get(finding.line)
+        if not line_rules:
+            return False
+        return _ALL in line_rules or finding.rule_id in line_rules

@@ -9,6 +9,7 @@ Subcommands regenerate the paper's artifacts and inspect the library:
   paper's shape claims
 * ``select`` — one bandwidth selection on a chosen DGP
 * ``info``   — registered kernels, backends, devices, programs
+* ``lint``   — project-aware static analysis (also ``repro-lint``)
 """
 
 from __future__ import annotations
@@ -107,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("info", help="list kernels, backends, devices, programs")
+
+    lint = sub.add_parser(
+        "lint", help="run the repro-lint static-analysis pass"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument(
+        "-f", "--format", choices=["text", "json"], default="text"
+    )
+    lint.add_argument("--select", type=str, default=None)
+    lint.add_argument("--ignore", type=str, default=None)
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -230,6 +242,20 @@ def _cmd_info(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv: list[str] = ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv += list(args.paths)
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -237,6 +263,7 @@ _COMMANDS = {
     "shape": _cmd_shape,
     "select": _cmd_select,
     "info": _cmd_info,
+    "lint": _cmd_lint,
 }
 
 

@@ -24,6 +24,7 @@ from repro.core.selectors import (
     NumericalOptimizationSelector,
     RuleOfThumbSelector,
 )
+from repro.utils.validation import check_paired_samples
 
 __all__ = ["select_bandwidth"]
 
@@ -94,6 +95,7 @@ def select_bandwidth(
     if canonical is None:
         known = ", ".join(sorted(set(_METHOD_ALIASES)))
         raise ValidationError(f"unknown method {method!r}; known: {known}")
+    x, y = check_paired_samples(x, y)
     if canonical == "grid":
         selector = GridSearchSelector(
             kernel,

@@ -15,6 +15,7 @@ progressively narrower range around the incumbent optimum —
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -81,7 +82,7 @@ class BandwidthGrid:
     def __len__(self) -> int:
         return int(self.values.shape[0])
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         return iter(self.values)
 
     def __getitem__(self, index: int) -> float:

@@ -64,7 +64,7 @@ def cv_score_reference(
             w = float(kern(np.array([(x[i] - x[l]) / h]))[0])
             num += y[l] * w
             den += w
-        if den != 0.0:
+        if den > 0.0:
             resid = y[i] - num / den
             total += resid * resid
     return total / n
@@ -94,13 +94,14 @@ def loo_estimates(
     rows = chunk_rows or suggest_chunk_rows(n, working_arrays=3)
     g_loo = np.full(n, np.nan, dtype=float)
     valid = np.zeros(n, dtype=bool)
+    base = np.arange(n, dtype=np.int64)
     for sl in chunk_slices(n, rows):
         u = (x[sl, None] - x[None, :]) / h
         w = kern(u)
         # Zero out the diagonal (the "leave one out"): row i of the chunk
         # corresponds to global observation sl.start + i.
-        idx = np.arange(sl.start, sl.stop)
-        w[np.arange(idx.shape[0]), idx] = 0.0
+        idx = base[sl]
+        w[base[: idx.shape[0]], idx] = 0.0
         den = w.sum(axis=1)
         num = w @ y
         ok = den > 0.0
@@ -206,10 +207,11 @@ def cv_scores_dense_grid(
     k = grid.shape[0]
     rows = chunk_rows or suggest_chunk_rows(n, working_arrays=4)
     sq_sums = np.zeros(k, dtype=float)
+    base = np.arange(n, dtype=np.int64)
     for sl in chunk_slices(n, rows):
         diff = x[sl, None] - x[None, :]
-        idx = np.arange(sl.start, sl.stop)
-        local = np.arange(idx.shape[0])
+        idx = base[sl]
+        local = base[: idx.shape[0]]
         for j, h in enumerate(grid):
             w = kern(diff / h)
             w[local, idx] = 0.0

@@ -55,8 +55,12 @@ class SelectionResult:
     backend: str
     kernel: str
     n_observations: int
-    bandwidths: np.ndarray = field(default_factory=lambda: np.empty(0))
-    scores: np.ndarray = field(default_factory=lambda: np.empty(0))
+    bandwidths: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+    scores: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
     n_evaluations: int = 0
     wall_seconds: float = 0.0
     converged: bool = True

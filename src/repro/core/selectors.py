@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 from scipy import optimize
@@ -109,7 +109,7 @@ class GridSearchSelector(BandwidthSelector):
         backend: str = "numpy",
         refine_rounds: int = 0,
         **backend_options: Any,
-    ):
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.n_bandwidths = check_positive_int(n_bandwidths, name="n_bandwidths")
         self.grid = grid
@@ -219,7 +219,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
         workers: int = 1,
         seed: int | None = 0,
         maxiter: int = 200,
-    ):
+    ) -> None:
         self.kernel = get_kernel(kernel)
         if method not in ("nelder-mead", "brent"):
             raise ValidationError(
@@ -240,7 +240,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
         y: np.ndarray,
         pool: WorkerPool | None,
         trace: list[tuple[float, float]],
-    ):
+    ) -> Callable[[float], float]:
         n = x.shape[0]
         kern_name = self.kernel.name
 
@@ -341,8 +341,12 @@ class NumericalOptimizationSelector(BandwidthSelector):
             backend="multicore" if self.workers > 1 else "scipy",
             kernel=self.kernel.name,
             n_observations=int(x.shape[0]),
-            bandwidths=evaluated[:, 0] if evaluated.size else np.empty(0),
-            scores=evaluated[:, 1] if evaluated.size else np.empty(0),
+            bandwidths=evaluated[:, 0]
+            if evaluated.size
+            else np.empty(0, dtype=np.float64),
+            scores=evaluated[:, 1]
+            if evaluated.size
+            else np.empty(0, dtype=np.float64),
             n_evaluations=len(trace),
             wall_seconds=wall,
             converged=all_converged,
@@ -394,7 +398,9 @@ class RuleOfThumbSelector(BandwidthSelector):
 
     method = "rule-of-thumb"
 
-    def __init__(self, kernel: str = "epanechnikov", *, constant: float = 1.06):
+    def __init__(
+        self, kernel: str = "epanechnikov", *, constant: float = 1.06
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.constant = float(constant)
 

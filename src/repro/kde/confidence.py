@@ -84,8 +84,8 @@ def kde_confidence_band(
 
     n = x.shape[0]
     m = at.shape[0]
-    est = np.empty(m)
-    se = np.empty(m)
+    est = np.empty(m, dtype=np.float64)
+    se = np.empty(m, dtype=np.float64)
     rows = chunk_rows or suggest_chunk_rows(n, working_arrays=3)
     for sl in chunk_slices(m, rows):
         zmat = kern((at[sl, None] - x[None, :]) / h) / h

@@ -40,7 +40,7 @@ def kde_evaluate(
     if h <= 0.0:
         raise ValidationError(f"bandwidth must be positive, got {h}")
     n = x.shape[0]
-    out = np.empty(at.shape[0])
+    out = np.empty(at.shape[0], dtype=np.float64)
     rows = chunk_rows or suggest_chunk_rows(n, working_arrays=2)
     for sl in chunk_slices(at.shape[0], rows):
         w = kern((at[sl, None] - x[None, :]) / h)
@@ -82,7 +82,7 @@ def select_kde_bandwidth(
             kernel=kern.name,
             n_observations=int(x.shape[0]),
             bandwidths=np.array([h]),
-            scores=np.empty(0),
+            scores=np.empty(0, dtype=np.float64),
             n_evaluations=1,
             wall_seconds=time.perf_counter() - start,
         )

@@ -68,10 +68,11 @@ def _pair_sums_dense(
     rows = chunk_rows or suggest_chunk_rows(n, working_arrays=3)
     conv_sum = 0.0
     kern_sum = 0.0
+    base = np.arange(n, dtype=np.int64)
     for sl in chunk_slices(n, rows):
         delta = (x[sl, None] - x[None, :]) / h
-        idx = np.arange(sl.start, sl.stop)
-        local = np.arange(idx.shape[0])
+        idx = base[sl]
+        local = base[: idx.shape[0]]
         cw = conv(delta)
         kw = kern(delta)
         cw[local, idx] = 0.0
@@ -151,7 +152,9 @@ def lscv_scores_fastgrid(
 
     def window_sums(terms, radius: float) -> np.ndarray:
         """Σ_{pairs: d <= radius·h_j} Σ_p c_p·d^p/h^p, for every j."""
-        per_power: dict[int, np.ndarray] = {}
+        per_power: dict[int, np.ndarray] = {
+            t.power: np.zeros(k, dtype=np.float64) for t in terms
+        }
         for sl in chunk_slices(n, rows):
             dist = np.abs(x[sl, None] - x[None, :])
             first_j = np.minimum(
@@ -160,9 +163,8 @@ def lscv_scores_fastgrid(
             for t in terms:
                 w = None if t.power == 0 else (dist**t.power).ravel()
                 hist = np.bincount(first_j, weights=w, minlength=k + 1)[:k]
-                acc = per_power.setdefault(t.power, np.zeros(k))
-                acc += hist
-        total = np.zeros(k)
+                per_power[t.power] += hist
+        total = np.zeros(k, dtype=np.float64)
         for t in terms:
             sums = np.cumsum(per_power[t.power])
             # Self pairs (d = 0) sit in the first bin at every bandwidth and

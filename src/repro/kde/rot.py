@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.exceptions import SelectionError, ValidationError
 from repro.kernels import GaussianKernel, Kernel, get_kernel
+from repro.utils.validation import as_float_array
 
 __all__ = ["silverman_bandwidth", "scott_bandwidth"]
 
@@ -39,8 +40,8 @@ def silverman_bandwidth(x: np.ndarray, kernel: str | Kernel = "gaussian") -> flo
     Stated for the Gaussian kernel; rescaled to other kernels through
     canonical bandwidths.
     """
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1 or x.size < 2:
+    x = as_float_array(x, name="x")
+    if x.size < 2:
         raise ValidationError("Silverman's rule needs a 1-D sample of size >= 2")
     kern = get_kernel(kernel)
     return 0.9 * _robust_spread(x) * x.size ** (-0.2) * _kernel_rescale(kern)
@@ -48,8 +49,8 @@ def silverman_bandwidth(x: np.ndarray, kernel: str | Kernel = "gaussian") -> flo
 
 def scott_bandwidth(x: np.ndarray, kernel: str | Kernel = "gaussian") -> float:
     """Scott's rule: ``h = 1.06·σ̂·n^{-1/5}`` (normal reference)."""
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1 or x.size < 2:
+    x = as_float_array(x, name="x")
+    if x.size < 2:
         raise ValidationError("Scott's rule needs a 1-D sample of size >= 2")
     sd = float(np.std(x, ddof=1))
     if sd <= 0.0:

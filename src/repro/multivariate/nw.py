@@ -50,7 +50,7 @@ def mv_nw_estimate(
     h_vec = ensure_bandwidth_vector(h, d)
     kerns = resolve_kernels(kernels, d)
     m = at.shape[0]
-    out = np.full(m, np.nan)
+    out = np.full(m, np.nan, dtype=np.float64)
     valid = np.zeros(m, dtype=bool)
     rows = chunk_rows or suggest_chunk_rows(x.shape[0], working_arrays=2 + d)
     for sl in chunk_slices(m, rows):
@@ -77,7 +77,7 @@ def mv_loo_estimates(
     h_vec = ensure_bandwidth_vector(h, d)
     kerns = resolve_kernels(kernels, d)
     n = x.shape[0]
-    g_loo = np.full(n, np.nan)
+    g_loo = np.full(n, np.nan, dtype=np.float64)
     valid = np.zeros(n, dtype=bool)
     rows = chunk_rows or suggest_chunk_rows(n, working_arrays=2 + d)
     for sl in chunk_slices(n, rows):

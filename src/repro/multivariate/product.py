@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.kernels import Kernel, get_kernel
+from repro.multivariate.validation import as_design_matrix, ensure_bandwidth_vector
 
 __all__ = ["resolve_kernels", "product_weights", "self_weight_constant"]
 
@@ -50,8 +51,11 @@ def product_weights(
     product — the hook the coordinate-descent selector uses to hold every
     other dimension's weight fixed while sweeping one bandwidth.
     """
+    at = as_design_matrix(at, name="at")
+    x = as_design_matrix(x, name="x")
     m, d = at.shape
     n = x.shape[0]
+    h = ensure_bandwidth_vector(h, d)
     weights = np.ones((m, n), dtype=np.float64)
     for dim in range(d):
         if dim == skip_dim:
@@ -76,5 +80,5 @@ def self_weight_constant(
     for dim, kern in enumerate(kernels):
         if dim == skip_dim:
             continue
-        total *= float(kern(np.zeros(1))[0])
+        total *= float(kern(np.zeros(1, dtype=np.float64))[0])
     return total

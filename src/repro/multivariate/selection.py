@@ -33,6 +33,7 @@ from repro.multivariate.fastgrid import mv_cv_scores_along_dim
 from repro.multivariate.nw import mv_cv_score
 from repro.multivariate.product import resolve_kernels
 from repro.multivariate.validation import check_multivariate_sample
+from repro.utils.numeric import is_zero
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -87,7 +88,7 @@ def mv_rule_of_thumb(
     x = as_design_matrix(x)
     n, d = x.shape
     kerns = resolve_kernels(kernels, d)
-    out = np.empty(d)
+    out = np.empty(d, dtype=np.float64)
     for dim in range(d):
         base = rule_of_thumb_bandwidth(x[:, dim], kerns[dim])
         # Swap the univariate rate for the multivariate one.
@@ -152,7 +153,7 @@ class ProductGridSelector:
             score = mv_cv_score(x, y, h, kerns)
             evaluations += 1
             if 0.0 < score < best_score or (
-                score == 0.0 and best_h is None
+                is_zero(score) and best_h is None
             ):
                 best_score = score
                 best_h = h

@@ -54,7 +54,7 @@ def ensure_bandwidth_vector(h: Any, d: int) -> np.ndarray:
     """
     arr = np.asarray(h, dtype=np.float64)
     if arr.ndim == 0:
-        arr = np.full(d, float(arr))
+        arr = np.full(d, float(arr), dtype=np.float64)
     if arr.shape != (d,):
         raise DataShapeError(
             f"bandwidth vector must have shape ({d},), got {arr.shape}"

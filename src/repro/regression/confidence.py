@@ -94,8 +94,8 @@ def loo_confidence_band(
     loo_resid_sq = np.where(loo_ok, (y - np.where(loo_ok, g_loo, 0.0)) ** 2, 0.0)
 
     m = at.shape[0]
-    est = np.full(m, np.nan)
-    se = np.full(m, np.nan)
+    est = np.full(m, np.nan, dtype=np.float64)
+    se = np.full(m, np.nan, dtype=np.float64)
     valid = np.zeros(m, dtype=bool)
     rows = chunk_rows or suggest_chunk_rows(x.shape[0], working_arrays=4)
     for sl in chunk_slices(m, rows):

@@ -55,7 +55,7 @@ def local_linear_estimate(
     if h <= 0.0:
         raise ValidationError(f"bandwidth must be positive, got {h}")
     m = at.shape[0]
-    out = np.full(m, np.nan)
+    out = np.full(m, np.nan, dtype=np.float64)
     valid = np.zeros(m, dtype=bool)
     rows = chunk_rows or suggest_chunk_rows(x.shape[0], working_arrays=5)
     for sl in chunk_slices(m, rows):

@@ -65,7 +65,7 @@ def local_polynomial_estimate(
     p1 = degree + 1
 
     m = at.shape[0]
-    coefs = np.full((m, p1), np.nan)
+    coefs = np.full((m, p1), np.nan, dtype=np.float64)
     valid = np.zeros(m, dtype=bool)
     rows = chunk_rows or suggest_chunk_rows(x.shape[0], working_arrays=4 + p1)
 
@@ -83,7 +83,7 @@ def local_polynomial_estimate(
         )
 
         # Assemble the (p+1)x(p+1) normal matrices per point.
-        gram = np.empty((mc, p1, p1))
+        gram = np.empty((mc, p1, p1), dtype=np.float64)
         for q in range(p1):
             for r in range(p1):
                 gram[:, q, r] = s_moments[:, q + r]
@@ -93,7 +93,7 @@ def local_polynomial_estimate(
         gram += ridge * gram_scale[:, None, None] * np.eye(p1)[None, :, :]
 
         ok = s_moments[:, 0] > 0.0
-        solved = np.full((mc, p1), np.nan)
+        solved = np.full((mc, p1), np.nan, dtype=np.float64)
         if np.any(ok):
             try:
                 # Trailing axis: numpy >= 2 requires an explicit column

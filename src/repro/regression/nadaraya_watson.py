@@ -22,6 +22,7 @@ from repro.kernels import Kernel, get_kernel
 from repro.core.result import SelectionResult
 from repro.core.selectors import BandwidthSelector, GridSearchSelector
 from repro.utils.chunking import chunk_slices, suggest_chunk_rows
+from repro.utils.numeric import is_zero
 from repro.utils.validation import as_float_array, check_paired_samples
 
 __all__ = ["NadarayaWatson", "nw_estimate"]
@@ -48,7 +49,7 @@ def nw_estimate(
     if h <= 0.0:
         raise ValidationError(f"bandwidth must be positive, got {h}")
     m = at.shape[0]
-    out = np.full(m, np.nan)
+    out = np.full(m, np.nan, dtype=np.float64)
     valid = np.zeros(m, dtype=bool)
     rows = chunk_rows or suggest_chunk_rows(x.shape[0], working_arrays=3)
     for sl in chunk_slices(m, rows):
@@ -170,6 +171,6 @@ class NadarayaWatson:
         resid = y[ok] - fitted[ok]
         centred = y[ok] - y[ok].mean()
         sst = float(np.dot(centred, centred))
-        if sst == 0.0:
+        if is_zero(sst):
             return 1.0
         return 1.0 - float(np.dot(resid, resid)) / sst

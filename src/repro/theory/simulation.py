@@ -116,10 +116,10 @@ class SelectorStudy:
             self.dgp(n, seed=self.base_seed + r) for r in range(reps)
         ]
         for name, selector in selectors.items():
-            hs = np.empty(reps)
-            scores = np.empty(reps)
-            mises = np.empty(reps)
-            seconds = np.empty(reps)
+            hs = np.empty(reps, dtype=np.float64)
+            scores = np.empty(reps, dtype=np.float64)
+            mises = np.empty(reps, dtype=np.float64)
+            seconds = np.empty(reps, dtype=np.float64)
             for r, sample in enumerate(samples):
                 res = selector.select(sample.x, sample.y)
                 hs[r] = res.bandwidth

@@ -1,6 +1,7 @@
-"""Shared utilities: validation, timing, and chunked iteration."""
+"""Shared utilities: validation, timing, chunking, float comparison."""
 
 from repro.utils.chunking import chunk_slices, iter_chunks, suggest_chunk_rows
+from repro.utils.numeric import FLOAT_ATOL, FLOAT_RTOL, allclose, is_zero, isclose
 from repro.utils.timer import Stopwatch, TimingRecord, time_callable
 from repro.utils.validation import (
     as_float_array,
@@ -11,14 +12,19 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "FLOAT_ATOL",
+    "FLOAT_RTOL",
     "Stopwatch",
     "TimingRecord",
+    "allclose",
     "as_float_array",
     "check_paired_samples",
     "check_positive_int",
     "check_probability",
     "chunk_slices",
     "ensure_bandwidths",
+    "is_zero",
+    "isclose",
     "iter_chunks",
     "suggest_chunk_rows",
     "time_callable",

@@ -1,0 +1,44 @@
+"""Tolerance-based float comparison helpers.
+
+The lint rule NUM001 bans bare ``==``/``!=`` between float expressions:
+around the CV argmin the score curve is flat to ~1e-12, so exact
+equality makes tie-breaking depend on summation order (chunking,
+backend, thread count).  These helpers centralise the tolerances so
+every comparison in the library breaks ties the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FLOAT_ATOL", "FLOAT_RTOL", "allclose", "is_zero", "isclose"]
+
+#: Absolute tolerance for "is this exactly the same float" questions —
+#: a hair above accumulated rounding in the O(n²) double-precision sums.
+FLOAT_ATOL = 1e-12
+
+#: Relative tolerance for comparing quantities of arbitrary magnitude.
+FLOAT_RTOL = 1e-9
+
+
+def isclose(
+    a: float, b: float, *, rtol: float = FLOAT_RTOL, atol: float = FLOAT_ATOL
+) -> bool:
+    """Scalar tolerance comparison (``|a−b| <= atol + rtol·|b|``)."""
+    return bool(np.isclose(a, b, rtol=rtol, atol=atol))
+
+
+def allclose(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    rtol: float = FLOAT_RTOL,
+    atol: float = FLOAT_ATOL,
+) -> bool:
+    """Array tolerance comparison with the project-wide tolerances."""
+    return bool(np.allclose(a, b, rtol=rtol, atol=atol))
+
+
+def is_zero(value: float, *, atol: float = FLOAT_ATOL) -> bool:
+    """Whether ``value`` is zero up to absolute tolerance."""
+    return bool(abs(value) <= atol)

@@ -1,0 +1,15 @@
+# lint-fixture: rel=gpusim/kernel.py expect=GPU001
+"""Deliberate violation: wall clock + unseeded RNG in a device module."""
+
+import random
+import time
+
+import numpy as np
+
+
+def device_kernel(ctx, out):
+    started = time.perf_counter()
+    rng = np.random.default_rng()
+    noise = np.random.rand()
+    jitter = random.random()
+    out[ctx.global_id] = started + rng.random() + noise + jitter

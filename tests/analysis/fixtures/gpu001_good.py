@@ -1,0 +1,9 @@
+# lint-fixture: rel=gpusim/kernel.py expect=none
+"""Clean counterpart: deterministic device code (seeded RNG only)."""
+
+import numpy as np
+
+
+def device_kernel(ctx, out, seed):
+    rng = np.random.default_rng(seed + ctx.global_id)
+    out[ctx.global_id] = rng.random()

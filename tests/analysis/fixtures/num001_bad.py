@@ -1,0 +1,8 @@
+# lint-fixture: rel=bench/report.py expect=NUM001
+"""Deliberate violation: exact float equality."""
+
+
+def pick(score, best):
+    if score == 0.0:
+        return None
+    return score != float(best)

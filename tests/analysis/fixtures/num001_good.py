@@ -1,0 +1,12 @@
+# lint-fixture: rel=bench/report.py expect=none
+"""Clean counterpart: tolerance helpers and ordered comparisons."""
+
+from repro.utils.numeric import is_zero, isclose
+
+
+def pick(score, best):
+    if is_zero(score):
+        return None
+    if score > 0.0 and not isclose(score, best):
+        return score
+    return best

@@ -1,0 +1,12 @@
+# lint-fixture: rel=core/api.py expect=NUM002
+"""Deliberate violation: public entry point skips the validation funnel."""
+
+import numpy as np
+
+__all__ = ["select"]
+
+
+def select(x, y, method="grid"):
+    arr_x = np.asarray(x, dtype=np.float64)
+    arr_y = np.asarray(y, dtype=np.float64)
+    return arr_x, arr_y, method

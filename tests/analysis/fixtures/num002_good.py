@@ -1,0 +1,15 @@
+# lint-fixture: rel=core/api.py expect=none
+"""Clean counterpart: arrays funnel through the validation helpers."""
+
+from repro.utils.validation import check_paired_samples
+
+__all__ = ["select"]
+
+
+def select(x, y, method="grid"):
+    x, y = check_paired_samples(x, y)
+    return x, y, method
+
+
+def _private(x):
+    return x

@@ -1,0 +1,13 @@
+# lint-fixture: rel=core/fastgrid.py expect=NUM003
+"""Deliberate violation: allocation inside a hot-path loop."""
+
+import numpy as np
+
+
+def sweep(chunks, k):
+    total = np.zeros(k, dtype=np.float64)
+    for chunk in chunks:
+        buf = np.zeros(k, dtype=np.float64)
+        buf += chunk
+        total += buf
+    return total

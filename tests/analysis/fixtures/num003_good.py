@@ -1,0 +1,13 @@
+# lint-fixture: rel=core/fastgrid.py expect=none
+"""Clean counterpart: the buffer is hoisted out of the loop."""
+
+import numpy as np
+
+
+def sweep(chunks, k):
+    total = np.zeros(k, dtype=np.float64)
+    buf = np.zeros(k, dtype=np.float64)
+    for chunk in chunks:
+        buf[:] = chunk
+        total += buf
+    return total

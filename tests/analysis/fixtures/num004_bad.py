@@ -1,0 +1,13 @@
+# lint-fixture: rel=bench/tables.py expect=NUM004
+"""Deliberate violation: allocators without an explicit dtype."""
+
+import numpy as np
+from numpy import empty as alloc
+
+
+def buffers(n):
+    a = np.empty(n)
+    b = np.zeros((n, 2))
+    c = np.full(n, np.nan)
+    d = alloc(n)
+    return a, b, c, d

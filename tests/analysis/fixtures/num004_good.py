@@ -1,0 +1,12 @@
+# lint-fixture: rel=bench/tables.py expect=none
+"""Clean counterpart: every allocation names its dtype."""
+
+import numpy as np
+
+
+def buffers(n):
+    a = np.empty(n, dtype=np.float64)
+    b = np.zeros((n, 2), dtype=np.float32)
+    c = np.full(n, np.nan, dtype=np.float64)
+    d = np.empty(n, np.float64)
+    return a, b, c, d

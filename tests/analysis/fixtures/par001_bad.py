@@ -1,0 +1,15 @@
+# lint-fixture: rel=bench/programs.py expect=PAR001
+"""Deliberate violation: unpicklable work units go to the pool."""
+
+from repro.parallel import WorkerPool, parallel_sum
+
+
+def run(items, n):
+    def block(start, stop):
+        return sum(items[start:stop])
+
+    with WorkerPool(workers=2) as pool:
+        squares = pool.map(lambda v: v * v, items)
+        blocks = pool.sum_over_blocks(block, n)
+    closure_total = parallel_sum(block, n)
+    return squares, blocks, closure_total

@@ -1,0 +1,20 @@
+# lint-fixture: rel=bench/programs.py expect=none
+"""Clean counterpart: module-level (picklable) work units."""
+
+from repro.parallel import WorkerPool, parallel_sum
+
+
+def square(v):
+    return v * v
+
+
+def block_sum(items, start, stop):
+    return sum(items[start:stop])
+
+
+def run(items, n):
+    with WorkerPool(workers=2) as pool:
+        squares = pool.map(square, items)
+        blocks = pool.sum_over_blocks(block_sum, n, shared_args=(items,))
+    total = parallel_sum(block_sum, n, shared_args=(items,))
+    return squares, blocks, total

@@ -1,0 +1,53 @@
+"""Text and JSON reporter output."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Finding, render_json, render_text
+
+FINDINGS = [
+    Finding(path="a.py", line=3, col=4, rule_id="NUM004", message="no dtype"),
+    Finding(path="a.py", line=7, col=0, rule_id="NUM004", message="no dtype"),
+    Finding(path="b.py", line=1, col=2, rule_id="NUM001", message="== float"),
+]
+
+
+def test_text_lines_and_tally() -> None:
+    text = render_text(FINDINGS)
+    lines = text.splitlines()
+    assert lines[0] == "a.py:3:4: NUM004 no dtype"
+    assert lines[-1] == "3 finding(s) (NUM001: 1, NUM004: 2)"
+
+
+def test_text_clean() -> None:
+    assert render_text([]) == "0 findings"
+
+
+def test_text_without_summary() -> None:
+    text = render_text(FINDINGS, summary=False)
+    assert len(text.splitlines()) == len(FINDINGS)
+
+
+def test_json_document_shape() -> None:
+    doc = json.loads(render_json(FINDINGS))
+    assert doc["total"] == 3
+    assert doc["counts"] == {"NUM001": 1, "NUM004": 2}
+    assert doc["findings"][0] == {
+        "path": "a.py",
+        "line": 3,
+        "col": 4,
+        "rule": "NUM004",
+        "message": "no dtype",
+    }
+    # rule metadata is embedded so downstream tools can explain findings
+    assert "NUM004" in doc["rules"]
+    assert doc["rules"]["NUM004"]["summary"]
+    assert doc["rules"]["NUM004"]["rationale"]
+
+
+def test_json_clean_document() -> None:
+    doc = json.loads(render_json([]))
+    assert doc["total"] == 0
+    assert doc["findings"] == []
+    assert doc["counts"] == {}

@@ -1,0 +1,46 @@
+"""Self-check: the analysis package (and the whole source tree) is clean.
+
+This is the dogfooding gate from the issue: ``repro-lint src/`` must
+exit 0, so the suite fails the moment a change to ``src/`` introduces a
+violation without either fixing it or justifying a suppression.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, default_rules, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_at_least_six_rules_registered() -> None:
+    rules = default_rules()
+    assert len(rules) >= 6
+    ids = {rule.rule_id for rule in rules}
+    assert {
+        "NUM001",
+        "NUM002",
+        "NUM003",
+        "NUM004",
+        "PAR001",
+        "GPU001",
+    } <= ids
+
+
+def test_analysis_package_lints_clean() -> None:
+    findings = LintEngine().lint_paths([SRC / "repro" / "analysis"])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_whole_source_tree_lints_clean() -> None:
+    findings = LintEngine().lint_paths([SRC])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_cli_exits_zero_on_src(capsys) -> None:
+    from repro.analysis.cli import main
+
+    assert main([str(SRC)]) == 0
+    assert "0 findings" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Suppression-comment handling."""
+
+from __future__ import annotations
+
+from repro.analysis import LintEngine
+from repro.analysis.suppressions import SuppressionIndex
+
+HOT = "core/fastgrid.py"
+
+
+def test_line_suppression_silences_that_line_only() -> None:
+    src = (
+        "import numpy as np\n"
+        "a = np.empty(3)  # repro-lint: disable=NUM004\n"
+        "b = np.empty(3)\n"
+    )
+    findings = LintEngine(select=["NUM004"]).lint_source(src)
+    assert [f.line for f in findings] == [3]
+
+
+def test_line_suppression_is_rule_specific() -> None:
+    src = (
+        "import numpy as np\n"
+        "a = np.empty(3)  # repro-lint: disable=NUM001\n"
+    )
+    findings = LintEngine(select=["NUM004"]).lint_source(src)
+    assert [f.rule_id for f in findings] == ["NUM004"]
+
+
+def test_file_wide_suppression() -> None:
+    src = (
+        "# repro-lint: disable-file=NUM004\n"
+        "import numpy as np\n"
+        "a = np.empty(3)\n"
+        "b = np.zeros(3)\n"
+    )
+    assert LintEngine(select=["NUM004"]).lint_source(src) == []
+
+
+def test_disable_all_on_line() -> None:
+    src = (
+        "import numpy as np\n"
+        "a = np.empty(3); bad = h == 0.5  # repro-lint: disable=all\n"
+    )
+    assert LintEngine().lint_source(src) == []
+
+
+def test_multiple_rules_one_comment() -> None:
+    src = (
+        "import numpy as np\n"
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        a = np.empty(3)  # repro-lint: disable=NUM003,NUM004\n"
+    )
+    assert LintEngine().lint_source(src, rel=HOT) == []
+
+
+def test_trailing_prose_after_rule_list_is_fine() -> None:
+    src = (
+        "import time\n"
+        "t = time.perf_counter()  # repro-lint: disable=GPU001 - wall clock\n"
+    )
+    assert LintEngine(select=["GPU001"]).lint_source(src, rel="gpusim/k.py") == []
+
+
+def test_index_parsing() -> None:
+    src = (
+        "# repro-lint: disable-file=NUM003\n"
+        "x = 1  # repro-lint: disable=NUM001, PAR001\n"
+    )
+    index = SuppressionIndex.from_source(src)
+    assert index.file_wide == {"NUM003"}
+    assert index.by_line == {2: {"NUM001", "PAR001"}}
