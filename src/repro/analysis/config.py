@@ -49,6 +49,9 @@ class LintConfig:
         "gpusim/*.py",
         "cuda_port/*.py",
     )
+    #: ROB001: the one layer allowed to absorb broad exceptions (it
+    #: classifies them by REPRO_* code into retry/degrade/propagate).
+    resilience_modules: tuple[str, ...] = ("resilience/*.py",)
 
     # -- NUM004: allocations that must name their dtype -------------------
     explicit_dtype_calls: tuple[str, ...] = (

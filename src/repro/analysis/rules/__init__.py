@@ -8,6 +8,7 @@ from repro.analysis.rules.gpu import DeviceDeterminismRule
 from repro.analysis.rules.hotpath import LoopAllocationRule
 from repro.analysis.rules.numeric import ExplicitDtypeRule, FloatEqualityRule
 from repro.analysis.rules.parallel import PicklableWorkUnitRule
+from repro.analysis.rules.robustness import BroadExceptRule
 
 __all__ = [
     "RULE_REGISTRY",
@@ -20,4 +21,5 @@ __all__ = [
     "ExplicitDtypeRule",
     "PicklableWorkUnitRule",
     "DeviceDeterminismRule",
+    "BroadExceptRule",
 ]

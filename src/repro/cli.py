@@ -103,9 +103,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "gpusim"],
+        choices=["numpy", "python", "multicore", "gpusim", "gpusim-tiled"],
     )
     sel.add_argument("--seed", type=int, default=0)
+    sel.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run on the resilient execution engine (retry, checkpoint, "
+        "backend fallback); implied by the other resilience flags",
+    )
+    sel.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="checkpoint file: completed row blocks are saved there and a "
+        "re-run with the same path resumes instead of recomputing "
+        "(grid method only)",
+    )
+    sel.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed block before degrading (default 2)",
+    )
+    sel.add_argument(
+        "--fallback",
+        dest="fallback",
+        action="store_true",
+        default=None,
+        help="degrade along gpusim -> gpusim-tiled -> multicore -> numpy "
+        "on device/backend failures (default when resilient)",
+    )
+    sel.add_argument(
+        "--no-fallback",
+        dest="fallback",
+        action="store_false",
+        help="fail instead of degrading to another backend",
+    )
 
     sub.add_parser("info", help="list kernels, backends, devices, programs")
 
@@ -218,8 +254,30 @@ def _cmd_select(args: argparse.Namespace) -> int:
     kwargs = {}
     if method == "grid":
         kwargs.update(n_bandwidths=args.k, backend=args.backend)
+    wants_resilience = (
+        args.resilient
+        or args.resume is not None
+        or args.max_retries is not None
+        or args.fallback is not None
+    )
+    if wants_resilience:
+        from repro.resilience import RetryPolicy
+        from repro.resilience.engine import ResilienceConfig
+
+        policy = RetryPolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 2
+        )
+        kwargs["resilience"] = ResilienceConfig(
+            policy=policy,
+            fallback=args.fallback if args.fallback is not None else True,
+            keep_checkpoint=args.resume is not None,
+        )
+        if args.resume is not None:
+            kwargs["resume"] = args.resume
     result = select_bandwidth(x, y, method=method, kernel=args.kernel, **kwargs)
     print(result.summary())
+    if result.resilience is not None:
+        print(result.resilience.summary())
     print(f"  scale factor  : {bandwidth_to_scale(result.bandwidth, x):.4f} "
           "(h / spread*n^-1/5, np convention)")
     return 0

@@ -50,6 +50,8 @@ def select_bandwidth(
     n_bandwidths: int = 50,
     grid: BandwidthGrid | None = None,
     backend: str = "numpy",
+    resilience: Any = None,
+    resume: Any = None,
     **options: Any,
 ) -> SelectionResult:
     """Select the LOO-CV-optimal bandwidth for a kernel regression of y on x.
@@ -69,7 +71,17 @@ def select_bandwidth(
         Grid configuration (grid method only).
     backend:
         Execution backend for the grid method: ``"numpy"``, ``"python"``,
-        ``"multicore"``, ``"gpusim"``.
+        ``"multicore"``, ``"gpusim"``, ``"gpusim-tiled"``.
+    resilience:
+        ``True`` or a :class:`~repro.resilience.engine.ResilienceConfig`
+        to run on the resilient execution engine: transient faults are
+        retried, device-level failures degrade down the backend fallback
+        chain (``gpusim → gpusim-tiled → multicore → numpy``), and the
+        result carries a ``.resilience`` report.
+    resume:
+        Checkpoint path (grid method only): completed row blocks are
+        persisted there and a re-run with the same path resumes instead
+        of recomputing them.  Implies ``resilience=True``.
     options:
         Forwarded to the selector constructor (``refine_rounds``,
         ``workers``, ``n_restarts``, ``dtype``, ...).
@@ -96,16 +108,30 @@ def select_bandwidth(
         known = ", ".join(sorted(set(_METHOD_ALIASES)))
         raise ValidationError(f"unknown method {method!r}; known: {known}")
     x, y = check_paired_samples(x, y)
+    if canonical != "grid" and resume is not None:
+        raise ValidationError(
+            "resume= (checkpointing) is only supported by the grid method"
+        )
+    selector: Any
     if canonical == "grid":
         selector = GridSearchSelector(
             kernel,
             n_bandwidths=n_bandwidths,
             grid=grid,
             backend=backend,
+            resilience=resilience,
+            resume=resume,
             **options,
         )
     elif canonical == "numeric":
-        selector = NumericalOptimizationSelector(kernel, **options)
+        selector = NumericalOptimizationSelector(
+            kernel, resilience=resilience, **options
+        )
     else:
+        if resilience is not None:
+            raise ValidationError(
+                "resilience= is not supported by the rule-of-thumb method "
+                "(it has no failure modes to guard)"
+            )
         selector = RuleOfThumbSelector(kernel, **options)
     return selector.select(x, y)

@@ -58,14 +58,16 @@ def register_backend(name: str, backend: GridBackend, *, overwrite: bool = False
 
 def get_backend(name: str) -> GridBackend:
     """Look up a backend, importing the GPU simulator port on demand."""
-    if name == "gpusim" and name not in BACKEND_REGISTRY:
+    if name in ("gpusim", "gpusim-tiled") and name not in BACKEND_REGISTRY:
         # The CUDA port registers itself at import time.
         import repro.cuda_port  # noqa: F401
 
     try:
         return BACKEND_REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(set(BACKEND_REGISTRY) | {"gpusim"}))
+        known = ", ".join(
+            sorted(set(BACKEND_REGISTRY) | {"gpusim", "gpusim-tiled"})
+        )
         raise BackendError(f"unknown backend {name!r}; known: {known}") from None
 
 

@@ -47,6 +47,11 @@ class SelectionResult:
     diagnostics:
         Free-form extras (restart trajectories, simulated GPU time,
         worker counts, refinement history...).
+    resilience:
+        The :class:`~repro.resilience.degrade.ResilienceReport` of the
+        run when the selector ran with ``resilience=`` enabled (recorded
+        faults, retries, backend degradations, resumed blocks); ``None``
+        otherwise.
     """
 
     bandwidth: float
@@ -65,6 +70,7 @@ class SelectionResult:
     wall_seconds: float = 0.0
     converged: bool = True
     diagnostics: dict[str, Any] = field(default_factory=dict)
+    resilience: Any | None = None
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.bandwidth) or self.bandwidth <= 0.0:
@@ -107,4 +113,12 @@ class SelectionResult:
         if self.diagnostics:
             keys = ", ".join(sorted(self.diagnostics))
             lines.append(f"  diagnostics   : {keys}")
+        if self.resilience is not None:
+            rep = self.resilience
+            status = "degraded" if getattr(rep, "degraded", False) else "clean"
+            lines.append(
+                f"  resilience    : {status} "
+                f"({len(getattr(rep, 'faults', []))} faults absorbed, "
+                f"{getattr(rep, 'retries', 0)} retries)"
+            )
         return "\n".join(lines)

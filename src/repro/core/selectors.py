@@ -96,6 +96,18 @@ class GridSearchSelector(BandwidthSelector):
     backend_options:
         Extra keyword arguments forwarded to the backend (``workers``,
         ``chunk_rows``, ``dtype``, ``device`` ...).
+    resilience:
+        ``True``, a :class:`~repro.resilience.engine.ResilienceConfig`,
+        or ``None`` (default).  When enabled, the sweep runs on the
+        resilient execution engine: transient faults (worker crashes,
+        timeouts, kernel-launch failures, corrupt blocks) are retried,
+        structural faults (device OOM) degrade along the backend fallback
+        chain, and the :class:`~repro.resilience.degrade.ResilienceReport`
+        is attached to the result.
+    resume:
+        Checkpoint file path: the first sweep records completed row
+        blocks there and a re-run with the same path replays them instead
+        of recomputing.  Implies ``resilience=True``.
     """
 
     method = "grid-search"
@@ -108,6 +120,8 @@ class GridSearchSelector(BandwidthSelector):
         grid: BandwidthGrid | None = None,
         backend: str = "numpy",
         refine_rounds: int = 0,
+        resilience: Any = None,
+        resume: Any = None,
         **backend_options: Any,
     ) -> None:
         self.kernel = get_kernel(kernel)
@@ -117,6 +131,12 @@ class GridSearchSelector(BandwidthSelector):
         if refine_rounds < 0:
             raise ValidationError(f"refine_rounds must be >= 0, got {refine_rounds}")
         self.refine_rounds = int(refine_rounds)
+        if resilience is not None or resume is not None:
+            from repro.resilience.engine import ResilienceConfig
+
+            self.resilience = ResilienceConfig.coerce(resilience, resume=resume)
+        else:
+            self.resilience = None
         self.backend_options = backend_options
 
     def _grid_for(self, x: np.ndarray) -> BandwidthGrid:
@@ -126,14 +146,42 @@ class GridSearchSelector(BandwidthSelector):
 
     def select(self, x: np.ndarray, y: np.ndarray) -> SelectionResult:
         x, y = check_paired_samples(x, y)
-        backend = get_backend(self.backend_name)
         grid = self._grid_for(x)
         start = time.perf_counter()
 
+        if self.resilience is not None:
+            from repro.resilience.engine import ResilientEngine
+
+            engine = ResilientEngine(self.resilience)
+
+            def evaluate(values: np.ndarray, *, first: bool) -> np.ndarray:
+                # Refinement rounds reuse whatever backend the first sweep
+                # settled on (no point re-walking a failed chain prefix)
+                # and skip the checkpoint (its fingerprint is per-grid).
+                target = self.backend_name
+                if not first and engine.report.backend_used:
+                    target = engine.report.backend_used
+                return engine.cv_scores(
+                    x,
+                    y,
+                    values,
+                    self.kernel,
+                    backend=target,
+                    backend_options=self.backend_options,
+                    checkpoint_enabled=first,
+                )
+
+        else:
+            engine = None
+            backend = get_backend(self.backend_name)
+
+            def evaluate(values: np.ndarray, *, first: bool) -> np.ndarray:
+                return np.asarray(
+                    backend(x, y, values, self.kernel, **self.backend_options)
+                )
+
         refinements: list[dict[str, float]] = []
-        scores = np.asarray(
-            backend(x, y, grid.values, self.kernel, **self.backend_options)
-        )
+        scores = evaluate(grid.values, first=True)
         best_j = _argmin_with_empty_window_guard(scores)
         best_h = float(grid.values[best_j])
         best_score = float(scores[best_j])
@@ -142,9 +190,7 @@ class GridSearchSelector(BandwidthSelector):
         current = grid
         for round_idx in range(self.refine_rounds):
             current = current.refine_around(best_h)
-            finer = np.asarray(
-                backend(x, y, current.values, self.kernel, **self.backend_options)
-            )
+            finer = evaluate(current.values, first=False)
             j = _argmin_with_empty_window_guard(finer)
             if finer[j] <= best_score:
                 best_h = float(current.values[j])
@@ -159,11 +205,14 @@ class GridSearchSelector(BandwidthSelector):
                                        "grid_maximum": grid.maximum}
         if refinements:
             diagnostics["refinements"] = refinements
+        backend_used = self.backend_name
+        if engine is not None and engine.report.backend_used:
+            backend_used = engine.report.backend_used
         return SelectionResult(
             bandwidth=best_h,
             score=best_score,
             method=self.method,
-            backend=self.backend_name,
+            backend=backend_used,
             kernel=self.kernel.name,
             n_observations=int(x.shape[0]),
             bandwidths=grid.values.copy(),
@@ -172,6 +221,7 @@ class GridSearchSelector(BandwidthSelector):
             wall_seconds=wall,
             converged=True,
             diagnostics=diagnostics,
+            resilience=engine.report if engine is not None else None,
         )
 
 
@@ -205,6 +255,12 @@ class NumericalOptimizationSelector(BandwidthSelector):
         Seed for the restart initial values.
     maxiter:
         Iteration cap per restart.
+    resilience:
+        ``True``, a :class:`~repro.resilience.engine.ResilienceConfig`,
+        or ``None``.  With ``workers > 1``, each parallel objective
+        evaluation is retried (with pool rebuild) on worker crashes and
+        timeouts; a work unit that keeps failing degrades that evaluation
+        to the serial path instead of aborting the optimisation.
     """
 
     method = "numerical-optimization"
@@ -219,6 +275,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
         workers: int = 1,
         seed: int | None = 0,
         maxiter: int = 200,
+        resilience: Any = None,
     ) -> None:
         self.kernel = get_kernel(kernel)
         if method not in ("nelder-mead", "brent"):
@@ -231,6 +288,12 @@ class NumericalOptimizationSelector(BandwidthSelector):
         self.workers = check_positive_int(workers, name="workers")
         self.seed = seed
         self.maxiter = check_positive_int(maxiter, name="maxiter")
+        if resilience is not None:
+            from repro.resilience.engine import ResilienceConfig
+
+            self.resilience = ResilienceConfig.coerce(resilience)
+        else:
+            self.resilience = None
 
     # -- objective ---------------------------------------------------------
 
@@ -240,6 +303,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
         y: np.ndarray,
         pool: WorkerPool | None,
         trace: list[tuple[float, float]],
+        guard: Any = None,
     ) -> Callable[[float], float]:
         n = x.shape[0]
         kern_name = self.kernel.name
@@ -251,22 +315,51 @@ class NumericalOptimizationSelector(BandwidthSelector):
         # the optimiser runs to a degenerate bandwidth.
         penalty = np.finfo(np.float64).max / 1e6
 
+        def serial_value(h: float) -> float:
+            g_loo, valid = loo_estimates(x, y, h, self.kernel)
+            if not valid.all():
+                return penalty
+            resid = y - g_loo
+            return float(np.dot(resid, resid)) / n
+
+        def parallel_stats(h: float) -> Any:
+            assert pool is not None
+            shared = (x, y, h, kern_name)
+            if guard is None:
+                return pool.sum_over_blocks(
+                    dense_cv_block_stats, n, shared_args=shared
+                )
+            from repro.resilience.engine import resilient_parallel_sum
+            from repro.resilience.policy import RetryBudgetExceeded
+
+            try:
+                return resilient_parallel_sum(
+                    pool,
+                    dense_cv_block_stats,
+                    n,
+                    shared_args=shared,
+                    policy=guard.policy,
+                    report=guard.report,
+                    sleep=guard.sleep,
+                    rng=guard.rng,
+                )
+            except RetryBudgetExceeded as exc:
+                # This evaluation degrades to the serial path rather than
+                # aborting the whole optimisation.
+                guard.report.record_fault("objective:serial-fallback", exc)
+                return None
+
         def cv(h: float) -> float:
             if h <= 0.0 or not np.isfinite(h):
                 return penalty
+            value: float | None = None
             if pool is not None:
-                stats = pool.sum_over_blocks(
-                    dense_cv_block_stats, n, shared_args=(x, y, float(h), kern_name)
-                )
-                sq_sum, invalid = float(stats[0]), float(stats[1])
-                value = penalty if invalid > 0 else sq_sum / n
-            else:
-                g_loo, valid = loo_estimates(x, y, float(h), self.kernel)
-                if not valid.all():
-                    value = penalty
-                else:
-                    resid = y - g_loo
-                    value = float(np.dot(resid, resid)) / n
+                stats = parallel_stats(float(h))
+                if stats is not None:
+                    sq_sum, invalid = float(stats[0]), float(stats[1])
+                    value = penalty if invalid > 0 else sq_sum / n
+            if value is None:
+                value = serial_value(float(h))
             trace.append((float(h), value))
             return value
 
@@ -291,6 +384,23 @@ class NumericalOptimizationSelector(BandwidthSelector):
 
         trace: list[tuple[float, float]] = []
         pool = WorkerPool(self.workers) if self.workers > 1 else None
+        guard: Any = None
+        report: Any = None
+        if self.resilience is not None:
+            from types import SimpleNamespace
+
+            from repro.resilience.degrade import ResilienceReport
+
+            report = ResilienceReport()
+            report.backend_requested = "multicore" if pool is not None else "scipy"
+            report.backend_used = report.backend_requested
+            if pool is not None:
+                guard = SimpleNamespace(
+                    policy=self.resilience.policy,
+                    report=report,
+                    sleep=self.resilience.sleep,
+                    rng=self.resilience.policy.jitter_rng(),
+                )
         best_h = np.nan
         best_score = np.inf
         all_converged = True
@@ -298,7 +408,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
         try:
             if pool is not None:
                 pool.open()
-            cv = self._objective(x, y, pool, trace)
+            cv = self._objective(x, y, pool, trace, guard)
             inits = np.exp(rng.uniform(np.log(lo), np.log(hi), size=self.n_restarts))
             for h0 in inits:
                 if self.opt_method == "brent":
@@ -356,6 +466,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
                 "optimizer": self.opt_method,
                 "workers": self.workers,
             },
+            resilience=report,
         )
 
 

@@ -35,6 +35,27 @@ __all__ = [
 ]
 
 
+def _gpusim_tiled_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str = "epanechnikov",
+    *,
+    device: str | None = None,
+    threads_per_block: int | None = None,
+    tile_rows: int | None = None,
+    **_: object,
+) -> np.ndarray:
+    """Grid backend running the out-of-core tiled program (no n×n ceiling)."""
+    program = TiledCudaBandwidthProgram(
+        device=device,
+        kernel=kernel,
+        threads_per_block=threads_per_block,
+        tile_rows=tile_rows,
+    )
+    return program.run(x, y, bandwidths).scores
+
+
 def _gpusim_backend(
     x: np.ndarray,
     y: np.ndarray,
@@ -58,3 +79,5 @@ def _gpusim_backend(
 
 if "gpusim" not in BACKEND_REGISTRY:
     register_backend("gpusim", _gpusim_backend)
+if "gpusim-tiled" not in BACKEND_REGISTRY:
+    register_backend("gpusim-tiled", _gpusim_tiled_backend)

@@ -5,6 +5,14 @@ callers can catch a single base class.  The GPU-simulator errors mirror the
 CUDA error conditions that the paper's program can hit on real hardware
 (out of device memory, exceeding the constant-memory working set, invalid
 launch configurations).
+
+Every class carries a stable, machine-readable :attr:`~ReproError.code`
+(``REPRO_*``).  The resilience layer's retry/degrade decisions and
+structured logs match on these codes rather than on class identity, so
+exception classes can be renamed or re-parented across refactors without
+silently changing fallback behaviour.  The code is prefixed to
+``str(exc)`` — ``[REPRO_DEVICE_OOM] device tesla: cannot allocate ...`` —
+so plain log lines stay greppable by code.
 """
 
 from __future__ import annotations
@@ -24,23 +32,48 @@ __all__ = [
     "LaunchConfigurationError",
     "DeviceStateError",
     "KernelExecutionError",
+    "PoolStateError",
+    "WorkerCrashError",
+    "BlockTimeoutError",
+    "DataCorruptionError",
+    "CheckpointError",
+    "error_code",
 ]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
+    #: Stable machine-readable identifier; subclasses override.
+    code: str = "REPRO_ERROR"
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"[{self.code}] {base}" if base else f"[{self.code}]"
+
+
+def error_code(exc: BaseException) -> str | None:
+    """The stable ``REPRO_*`` code of ``exc``, or ``None`` for foreign errors."""
+    code = getattr(exc, "code", None)
+    return code if isinstance(code, str) and code.startswith("REPRO_") else None
+
 
 class ValidationError(ReproError, ValueError):
     """An argument failed validation (bad type, shape, or value)."""
+
+    code = "REPRO_VALIDATION"
 
 
 class DataShapeError(ValidationError):
     """Input arrays have incompatible or unusable shapes."""
 
+    code = "REPRO_DATA_SHAPE"
+
 
 class BandwidthGridError(ValidationError):
     """A bandwidth grid is malformed (non-positive, unsorted, empty...)."""
+
+    code = "REPRO_BANDWIDTH_GRID"
 
 
 class DegenerateDataError(ReproError):
@@ -50,17 +83,25 @@ class DegenerateDataError(ReproError):
     compact-support kernel can ever have a non-empty leave-one-out window.
     """
 
+    code = "REPRO_DEGENERATE_DATA"
+
 
 class SelectionError(ReproError):
     """Bandwidth selection failed to produce a usable optimum."""
+
+    code = "REPRO_SELECTION"
 
 
 class BackendError(ReproError):
     """A computation backend is unknown or unavailable."""
 
+    code = "REPRO_BACKEND"
+
 
 class GpuSimError(ReproError):
     """Base class for GPU-simulator errors (mirrors ``cudaError_t``)."""
+
+    code = "REPRO_GPUSIM"
 
 
 class DeviceMemoryError(GpuSimError, MemoryError):
@@ -70,6 +111,8 @@ class DeviceMemoryError(GpuSimError, MemoryError):
     matrices no longer fit in the Tesla's 4 GB of device memory.
     """
 
+    code = "REPRO_DEVICE_OOM"
+
 
 class ConstantMemoryError(GpuSimError):
     """Constant-memory working set exceeded.
@@ -78,18 +121,79 @@ class ConstantMemoryError(GpuSimError):
     constant-memory *cache* working set is 8 KB (2,048 float32 values).
     """
 
+    code = "REPRO_CONST_MEM"
+
 
 class SharedMemoryError(GpuSimError):
     """A block requested more shared memory than the SM provides."""
+
+    code = "REPRO_SHARED_MEM"
 
 
 class LaunchConfigurationError(GpuSimError):
     """Invalid kernel launch configuration (``cudaErrorInvalidConfiguration``)."""
 
+    code = "REPRO_LAUNCH_CONFIG"
+
 
 class DeviceStateError(GpuSimError):
     """Operation attempted on a freed buffer or reset device."""
 
+    code = "REPRO_DEVICE_STATE"
+
 
 class KernelExecutionError(GpuSimError):
     """A device kernel raised during simulated execution."""
+
+    code = "REPRO_KERNEL_EXEC"
+
+
+class PoolStateError(ReproError):
+    """Operation attempted on a closed (retired) worker pool.
+
+    The process-pool analogue of :class:`DeviceStateError`: a
+    :class:`~repro.parallel.WorkerPool` that has been closed stays closed —
+    re-entering it would silently fork a fresh set of workers behind the
+    caller's back, so the attempt is rejected with this typed error instead
+    of a raw ``multiprocessing`` ``ValueError``.
+    """
+
+    code = "REPRO_POOL_STATE"
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died while executing a work unit.
+
+    Models a segfaulted/OOM-killed child process: the block's partial
+    result is lost, and the pool may need to be rebuilt before retrying.
+    """
+
+    code = "REPRO_WORKER_CRASH"
+
+
+class BlockTimeoutError(ReproError):
+    """A work unit exceeded its per-block deadline.
+
+    Models a hung worker (deadlocked fork, livelocked NFS read...): the
+    parent gives up on the in-flight result, rebuilds the pool, and
+    recomputes the block.
+    """
+
+    code = "REPRO_BLOCK_TIMEOUT"
+
+
+class DataCorruptionError(ReproError):
+    """A partial result failed its integrity check (NaN/Inf contamination).
+
+    Models silent data corruption — a bad DIMM, a truncated shard, an
+    undetected float overflow in a worker — caught by the resilience
+    layer's finiteness check on every block of partial CV sums.
+    """
+
+    code = "REPRO_DATA_CORRUPT"
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable or belongs to a different sweep."""
+
+    code = "REPRO_CHECKPOINT"

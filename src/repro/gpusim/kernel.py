@@ -35,6 +35,7 @@ from repro.exceptions import (
 )
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.memory import SharedMemory
+from repro.resilience import faults
 
 __all__ = ["ThreadContext", "LaunchStats", "launch_kernel"]
 
@@ -136,6 +137,10 @@ def launch_kernel(
             f"{spec.max_threads_per_block}"
         )
 
+    # Chaos hook: an active fault plan can fail this launch.
+    faults.fire(
+        "gpusim.launch", getattr(kernel_fn, "__name__", "<kernel>")
+    )
     stats = LaunchStats(
         kernel_name=getattr(kernel_fn, "__name__", "<kernel>"),
         grid_dim=grid_dim,

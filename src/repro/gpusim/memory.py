@@ -31,6 +31,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.gpusim.device import DeviceSpec, get_device
+from repro.resilience import faults
 
 __all__ = ["DeviceBuffer", "GlobalMemory", "ConstantMemory", "SharedMemory"]
 
@@ -125,6 +126,10 @@ class GlobalMemory:
             raise ValidationError(f"negative dimension in shape {shape}")
         np_dtype = np.dtype(dtype)
         nbytes = _aligned(int(np.prod(shape, dtype=np.int64)) * np_dtype.itemsize)
+        # Chaos hook: an active fault plan can fail this cudaMalloc.
+        faults.fire(
+            "gpusim.malloc", f"cudaMalloc({label or shape}) on {self.device.name}"
+        )
         if self.bytes_allocated + nbytes > self.capacity:
             raise DeviceMemoryError(
                 f"device {self.device.name}: cannot allocate "

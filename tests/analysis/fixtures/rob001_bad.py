@@ -1,0 +1,9 @@
+# lint-fixture: rel=bench/tables.py expect=ROB001
+"""Deliberate violation: a broad handler that swallows the failure."""
+
+
+def run_cell(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

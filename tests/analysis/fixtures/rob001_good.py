@@ -1,0 +1,14 @@
+# lint-fixture: rel=bench/tables.py expect=none
+"""Broad handlers are fine when they re-raise (classification, not
+swallowing); narrow typed handlers are always fine."""
+
+from repro.exceptions import SelectionError
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None
+    except Exception as exc:
+        raise SelectionError(f"cell failed: {exc}") from exc

@@ -175,3 +175,79 @@ class TestGpu001:
         host = engine.lint_source(src, rel="bench/runner.py")
         assert [f.rule_id for f in device] == ["GPU001"]
         assert host == []
+
+
+class TestRob001:
+    def test_bare_except_flagged(self) -> None:
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        findings = LintEngine(select=["ROB001"]).lint_source(
+            src, rel="bench/tables.py"
+        )
+        assert [f.rule_id for f in findings] == ["ROB001"]
+
+    def test_broad_tuple_flagged(self) -> None:
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, Exception):\n"
+            "        return None\n"
+        )
+        findings = LintEngine(select=["ROB001"]).lint_source(
+            src, rel="bench/tables.py"
+        )
+        assert [f.rule_id for f in findings] == ["ROB001"]
+
+    def test_reraise_is_allowed(self) -> None:
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        raise RuntimeError('wrapped') from exc\n"
+        )
+        engine = LintEngine(select=["ROB001"])
+        assert engine.lint_source(src, rel="bench/tables.py") == []
+
+    def test_raise_inside_nested_def_does_not_count(self) -> None:
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        def fail():\n"
+            "            raise RuntimeError('never called')\n"
+            "        return fail\n"
+        )
+        findings = LintEngine(select=["ROB001"]).lint_source(
+            src, rel="bench/tables.py"
+        )
+        assert [f.rule_id for f in findings] == ["ROB001"]
+
+    def test_resilience_layer_is_exempt(self) -> None:
+        src = (
+            "def absorb():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        engine = LintEngine(select=["ROB001"])
+        assert engine.lint_source(src, rel="resilience/engine.py") == []
+
+    def test_narrow_handler_is_fine(self) -> None:
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        return None\n"
+        )
+        engine = LintEngine(select=["ROB001"])
+        assert engine.lint_source(src, rel="bench/tables.py") == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ValidationError
+from repro.exceptions import PoolStateError, ValidationError
 from repro.parallel import WorkerPool, available_workers, parallel_sum
 
 
@@ -49,8 +49,63 @@ class TestWorkerPoolLifecycle:
         pool.close()
         assert not pool.is_open
 
+    def test_terminate_idempotent(self):
+        pool = WorkerPool(2)
+        pool.open()
+        pool.terminate()
+        pool.terminate()
+        assert not pool.is_open and pool.is_closed
+
+    def test_closed_pool_reentry_is_typed(self):
+        pool = WorkerPool(2)
+        pool.open()
+        pool.close()
+        with pytest.raises(PoolStateError, match="closed worker pool"):
+            pool.open()
+        with pytest.raises(PoolStateError):
+            pool.map(_square, [1, 2])
+
+    def test_never_opened_pool_close_then_reentry(self):
+        pool = WorkerPool(2)
+        pool.close()  # retiring an unopened pool is fine...
+        with pytest.raises(PoolStateError):
+            pool.open()  # ...but it stays retired
+
+    def test_exit_on_exception_terminates(self):
+        pool = WorkerPool(2)
+        with pytest.raises(RuntimeError):
+            with pool:
+                raise RuntimeError("abandon the computation")
+        assert pool.is_closed and not pool.is_open
+
+    def test_rebuild_swaps_workers_and_counts(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, [1, 2]) == [1, 4]
+            pool.rebuild()
+            assert pool.rebuilds == 1
+            assert pool.map(_square, [3]) == [9]
+
+    def test_rebuild_of_closed_pool_rejected(self):
+        pool = WorkerPool(2)
+        pool.open()
+        pool.close()
+        with pytest.raises(PoolStateError, match="rebuild"):
+            pool.rebuild()
+
+    def test_healthy_pool_is_not_rebuilt(self):
+        with WorkerPool(2) as pool:
+            pool.open()
+            assert pool.is_healthy
+            assert not pool.ensure_healthy()
+            assert pool.rebuilds == 0
+
 
 class TestExecution:
+    def test_apply_async_returns_future(self):
+        with WorkerPool(2) as pool:
+            future = pool.apply_async(_square, (6,))
+            assert future.get(timeout=30) == 36
+
     def test_map_parallel(self):
         with WorkerPool(2) as pool:
             assert pool.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]

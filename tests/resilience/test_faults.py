@@ -1,0 +1,195 @@
+"""Unit tests for the deterministic fault-injection registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    BlockTimeoutError,
+    DeviceMemoryError,
+    KernelExecutionError,
+    ValidationError,
+    WorkerCrashError,
+)
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    faulty_call,
+    inject_faults,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self) -> None:
+        with pytest.raises(ValidationError, match="unknown fault site"):
+            FaultSpec(site="disk.write", kind="crash")
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(ValidationError, match="unknown fault kind"):
+            FaultSpec(site="pool.worker", kind="meltdown")
+
+    def test_rate_bounds(self) -> None:
+        with pytest.raises(ValidationError, match="rate"):
+            FaultSpec(site="pool.worker", kind="crash", rate=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self) -> None:
+        spec = FaultSpec(site="pool.worker", kind="crash", rate=0.5)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector([spec], seed=42)
+            runs.append([inj.draw("pool.worker") is not None for _ in range(50)])
+        assert runs[0] == runs[1]
+        assert any(runs[0]) and not all(runs[0])
+
+    def test_different_seeds_differ(self) -> None:
+        spec = FaultSpec(site="pool.worker", kind="crash", rate=0.5)
+        seqs = set()
+        for seed in range(4):
+            inj = FaultInjector([spec], seed=seed)
+            seqs.add(
+                tuple(inj.draw("pool.worker") is not None for _ in range(50))
+            )
+        assert len(seqs) > 1
+
+    def test_sites_are_independent(self) -> None:
+        """Adding a spec at one site must not shift another site's draws."""
+        base = FaultSpec(site="pool.worker", kind="crash", rate=0.5)
+        extra = FaultSpec(site="gpusim.malloc", kind="oom", rate=0.5)
+        solo = FaultInjector([base], seed=9)
+        both = FaultInjector([base, extra], seed=9)
+        seq_solo = [solo.draw("pool.worker") is not None for _ in range(30)]
+        seq_both = []
+        for _ in range(30):
+            both.draw("gpusim.malloc")
+            seq_both.append(both.draw("pool.worker") is not None)
+        assert seq_solo == seq_both
+
+    def test_reset_replays(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="data.block", kind="nan", rate=0.3)], seed=5
+        )
+        first = [inj.draw("data.block") is not None for _ in range(20)]
+        inj.reset()
+        second = [inj.draw("data.block") is not None for _ in range(20)]
+        assert first == second
+
+
+class TestTriggering:
+    def test_at_indices_fire_exactly(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="pool.worker", kind="crash", at=(1, 3))], seed=0
+        )
+        fired = [inj.draw("pool.worker") is not None for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_max_triggers_bounds_firing(self) -> None:
+        inj = FaultInjector(
+            [
+                FaultSpec(
+                    site="pool.worker", kind="crash", rate=1.0, max_triggers=2
+                )
+            ],
+            seed=0,
+        )
+        fired = [inj.draw("pool.worker") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_log_records_events(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="gpusim.launch", kind="launch", at=(0,))], seed=0
+        )
+        with pytest.raises(KernelExecutionError):
+            inj.fire("gpusim.launch", "main_kernel")
+        assert len(inj.log) == 1
+        assert inj.log[0].site == "gpusim.launch"
+        assert inj.log[0].context == "main_kernel"
+
+
+class TestFireAndCorrupt:
+    @pytest.mark.parametrize(
+        ("kind", "exc"),
+        [
+            ("oom", DeviceMemoryError),
+            ("launch", KernelExecutionError),
+        ],
+    )
+    def test_fire_raises_typed(self, kind: str, exc: type) -> None:
+        site = "gpusim.malloc" if kind == "oom" else "gpusim.launch"
+        inj = FaultInjector([FaultSpec(site=site, kind=kind, at=(0,))], seed=0)
+        with pytest.raises(exc):
+            inj.fire(site)
+
+    def test_corrupt_injects_nan(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="data.block", kind="nan", at=(0,))], seed=0
+        )
+        values = np.ones(7)
+        poisoned = inj.corrupt("data.block", values)
+        assert np.isnan(poisoned).sum() == 1
+        assert not np.isnan(values).any(), "input must not be mutated"
+
+    def test_corrupt_injects_inf(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="data.block", kind="inf", at=(0,))], seed=0
+        )
+        poisoned = inj.corrupt("data.block", np.ones(7))
+        assert np.isinf(poisoned).sum() == 1
+
+    def test_corrupt_passthrough_without_trigger(self) -> None:
+        inj = FaultInjector([], seed=0)
+        values = np.ones(3)
+        assert inj.corrupt("data.block", values) is values
+
+
+class TestContextManager:
+    def test_hooks_are_noops_outside_plan(self) -> None:
+        faults.fire("gpusim.malloc")  # must not raise
+        assert faults.draw("pool.worker") is None
+        assert faults.draw_many("pool.worker", 3) == [None, None, None]
+
+    def test_inject_installs_and_removes(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="gpusim.malloc", kind="oom", at=(0,))], seed=0
+        )
+        with inject_faults(inj):
+            assert faults.active_injector() is inj
+            with pytest.raises(DeviceMemoryError):
+                faults.fire("gpusim.malloc")
+        assert faults.active_injector() is None
+
+    def test_nesting_rejected(self) -> None:
+        with inject_faults(FaultInjector(seed=0)):
+            with pytest.raises(ValidationError, match="nest"):
+                with inject_faults(FaultInjector(seed=1)):
+                    pass
+
+    def test_reentry_replays(self) -> None:
+        inj = FaultInjector(
+            [FaultSpec(site="pool.worker", kind="crash", at=(0,))], seed=0
+        )
+        for _ in range(2):
+            with inject_faults(inj):
+                assert faults.draw("pool.worker") == "crash"
+                assert faults.draw("pool.worker") is None
+
+
+class TestFaultyCall:
+    def test_crash_directive_raises(self) -> None:
+        with pytest.raises(WorkerCrashError):
+            faulty_call("crash", sum, [1, 2])
+
+    def test_timeout_directive_raises(self) -> None:
+        with pytest.raises(BlockTimeoutError):
+            faulty_call("timeout", sum, [1, 2])
+
+    def test_none_directive_calls_through(self) -> None:
+        assert faulty_call(None, sum, [1, 2]) == 3
+
+    def test_is_picklable(self) -> None:
+        import pickle
+
+        assert pickle.loads(pickle.dumps(faulty_call)) is faulty_call

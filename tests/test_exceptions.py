@@ -1,0 +1,97 @@
+"""Contract tests for the exception hierarchy and its stable codes.
+
+The resilience layer routes retry/degrade decisions through ``REPRO_*``
+codes, so the hierarchy's shape is an API: every class must carry a code,
+codes must be unique per concrete class, and ``str(exc)`` must surface
+the code for greppable logs.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.exceptions as exc_mod
+from repro.exceptions import (
+    DeviceMemoryError,
+    GpuSimError,
+    PoolStateError,
+    ReproError,
+    ValidationError,
+    error_code,
+)
+
+
+def _all_error_classes() -> list[type[ReproError]]:
+    return [
+        obj
+        for _, obj in inspect.getmembers(exc_mod, inspect.isclass)
+        if issubclass(obj, ReproError)
+    ]
+
+
+class TestCodes:
+    def test_every_class_exported(self) -> None:
+        for cls in _all_error_classes():
+            assert cls.__name__ in exc_mod.__all__
+
+    def test_every_class_has_a_repro_code(self) -> None:
+        for cls in _all_error_classes():
+            assert isinstance(cls.code, str)
+            assert cls.code.startswith("REPRO_"), cls
+
+    def test_codes_are_unique_per_class(self) -> None:
+        codes: dict[str, str] = {}
+        for cls in _all_error_classes():
+            # a subclass that inherits its parent's code would make
+            # retry/degrade classification ambiguous
+            assert "code" in cls.__dict__, f"{cls.__name__} must own its code"
+            assert cls.code not in codes, (
+                f"{cls.__name__} reuses {cls.code} from {codes[cls.code]}"
+            )
+            codes[cls.code] = cls.__name__
+
+    def test_str_is_prefixed_with_code(self) -> None:
+        assert str(DeviceMemoryError("4 GB wall")) == "[REPRO_DEVICE_OOM] 4 GB wall"
+        assert str(PoolStateError()) == "[REPRO_POOL_STATE]"
+
+
+class TestErrorCode:
+    def test_reads_repro_errors(self) -> None:
+        assert error_code(DeviceMemoryError("x")) == "REPRO_DEVICE_OOM"
+        assert error_code(ValidationError("x")) == "REPRO_VALIDATION"
+
+    def test_foreign_errors_are_none(self) -> None:
+        assert error_code(RuntimeError("plain")) is None
+        assert error_code(MemoryError()) is None
+
+    def test_spoofed_code_attribute_rejected(self) -> None:
+        class Impostor(Exception):
+            code = 404  # not a string, not a REPRO_ code
+
+        assert error_code(Impostor()) is None
+
+
+class TestHierarchy:
+    def test_single_base_class(self) -> None:
+        for cls in _all_error_classes():
+            assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize(
+        ("cls", "stdlib_base"),
+        [(ValidationError, ValueError), (DeviceMemoryError, MemoryError)],
+    )
+    def test_stdlib_compatibility(self, cls: type, stdlib_base: type) -> None:
+        """Callers using stdlib except-clauses keep working."""
+        assert issubclass(cls, stdlib_base)
+
+    def test_gpusim_errors_share_a_base(self) -> None:
+        from repro.exceptions import (
+            ConstantMemoryError,
+            KernelExecutionError,
+            LaunchConfigurationError,
+        )
+
+        for cls in (ConstantMemoryError, KernelExecutionError, LaunchConfigurationError):
+            assert issubclass(cls, GpuSimError)
