@@ -1,0 +1,145 @@
+"""Serving-layer throughput: cold vs warm selection, batched vs unbatched.
+
+Quantifies the two amortisations the serving subsystem adds on top of
+the paper's fast sweep:
+
+* **fingerprint cache** — a warm ``select_bandwidth`` is a hash + one
+  dict/npz lookup instead of the O(n² log n) sweep; the cold/warm gap
+  is the entire selection cost;
+* **micro-batching** — ``B`` coalesced ``/predict`` requests cost one
+  kernel-matrix pass over the concatenated points instead of ``B``
+  separate passes with per-call overhead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from _bench_config import HEADLINE_N, sample_for
+from repro.core.api import select_bandwidth
+from repro.regression import NadarayaWatson
+from repro.serving import (
+    ArtifactCache,
+    MicroBatchScheduler,
+    SchedulerConfig,
+)
+
+K = 50
+PREDICT_REQUESTS = 32
+POINTS_PER_REQUEST = 8
+
+
+@pytest.fixture(scope="module")
+def data():
+    return sample_for(HEADLINE_N)
+
+
+@pytest.fixture(scope="module")
+def warm_cache(data):
+    cache = ArtifactCache(None)
+    select_bandwidth(data.x, data.y, n_bandwidths=K, cache=cache)
+    return cache
+
+
+def test_selection_cold(benchmark, data):
+    """The full sweep, no cache: the cost a warm hit avoids."""
+    result = benchmark.pedantic(
+        lambda: select_bandwidth(data.x, data.y, n_bandwidths=K),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.bandwidth > 0
+
+
+def test_selection_warm(benchmark, data, warm_cache):
+    """Fingerprint hit: hash the inputs, return the stored result."""
+    result = benchmark(
+        lambda: select_bandwidth(
+            data.x, data.y, n_bandwidths=K, cache=warm_cache
+        )
+    )
+    assert result.diagnostics["cache"] == "hit"
+
+
+@pytest.fixture(scope="module")
+def fitted_model(data):
+    result = select_bandwidth(data.x, data.y, n_bandwidths=K)
+    return NadarayaWatson("epanechnikov", bandwidth=result.bandwidth).fit(
+        data.x, data.y
+    )
+
+
+def _request_points(rng: np.random.Generator) -> list[np.ndarray]:
+    return [
+        rng.uniform(0.0, 1.0, POINTS_PER_REQUEST)
+        for _ in range(PREDICT_REQUESTS)
+    ]
+
+
+def test_predict_unbatched(benchmark, fitted_model):
+    """One estimator pass per request — the no-coalescing baseline."""
+    points = _request_points(np.random.default_rng(5))
+
+    def run() -> int:
+        return sum(fitted_model.predict(p).shape[0] for p in points)
+
+    assert benchmark(run) == PREDICT_REQUESTS * POINTS_PER_REQUEST
+
+
+def test_predict_batched(benchmark, fitted_model):
+    """All requests coalesced into one pass, then split (the runner path)."""
+    points = _request_points(np.random.default_rng(5))
+
+    def run() -> int:
+        merged = np.concatenate(points)
+        estimates = fitted_model.predict(merged)
+        out = 0
+        offset = 0
+        for p in points:
+            out += estimates[offset : offset + p.shape[0]].shape[0]
+            offset += p.shape[0]
+        return out
+
+    assert benchmark(run) == PREDICT_REQUESTS * POINTS_PER_REQUEST
+
+
+def test_scheduler_end_to_end(benchmark, fitted_model):
+    """Micro-batcher overhead on top of the batched pass (event loop,
+
+    futures, executor trip) — the price of coalescing transparently.
+    """
+    points = _request_points(np.random.default_rng(5))
+
+    def runner(batch):
+        merged = np.concatenate(list(batch))
+        estimates = fitted_model.predict(merged)
+        out = []
+        offset = 0
+        for p in batch:
+            out.append(estimates[offset : offset + p.shape[0]])
+            offset += p.shape[0]
+        return out
+
+    async def serve_once() -> int:
+        scheduler = MicroBatchScheduler(
+            runner,
+            config=SchedulerConfig(
+                max_batch_size=PREDICT_REQUESTS, max_wait_ms=5.0
+            ),
+        )
+        scheduler.start()
+        results = await asyncio.gather(
+            *[scheduler.submit(p) for p in points]
+        )
+        await scheduler.drain()
+        return sum(r.shape[0] for r in results)
+
+    def run() -> int:
+        return asyncio.run(serve_once())
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == (
+        PREDICT_REQUESTS * POINTS_PER_REQUEST
+    )

@@ -1,0 +1,189 @@
+"""CI smoke test for ``repro-bench serve``.
+
+Boots the real server process on a fixture dataset and an OS-assigned
+port, fires concurrent warm/cold ``/select`` and ``/predict`` traffic
+at it, then asserts the serving contract:
+
+* the artifact-cache hit rate is > 0 (warm selections skipped sweeps);
+* zero 5xx responses across all traffic;
+* warm selections return bit-for-bit the bandwidth of the cold run.
+
+Run:  python scripts/serving_smoke.py
+Exit: 0 on success, 1 on any violated assertion (messages on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+STARTUP_TIMEOUT_S = 120.0
+REQUEST_TIMEOUT_S = 60.0
+N_CONCURRENT_PREDICTS = 8
+
+
+def fail(message: str) -> None:
+    print(f"serving-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def write_fixture_csv(path: Path, n: int = 200, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1.0, n)
+    y = 0.5 * x + 10.0 * x**2 + rng.uniform(0.0, 0.5, n)
+    lines = ["x,y"] + [f"{float(a)!r},{float(b)!r}" for a, b in zip(x, y)]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def start_server(data_csv: Path, cache_dir: Path) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--data",
+            str(data_csv),
+            "--k",
+            "12",
+            "--cache-dir",
+            str(cache_dir),
+            "--max-wait-ms",
+            "10",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    banner = re.compile(r"repro serving on (http://\S+)")
+    lines: list[str] = []
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            fail(
+                "server exited during startup:\n" + "".join(lines)
+            )
+        line = proc.stdout.readline()
+        lines.append(line)
+        match = banner.search(line)
+        if match:
+            return proc, match.group(1)
+    proc.kill()
+    fail("server did not print its ready banner in time")
+    raise AssertionError  # unreachable
+
+
+def request(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=REQUEST_TIMEOUT_S) as resp:
+            raw = resp.read()
+            if resp.headers.get_content_type() == "application/json":
+                return resp.status, json.loads(raw)
+            return resp.status, raw.decode()
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def main() -> int:
+    statuses: list[int] = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmpdir = Path(tmp)
+        data_csv = tmpdir / "fixture.csv"
+        write_fixture_csv(data_csv)
+        proc, base = start_server(data_csv, tmpdir / "cache")
+        try:
+            status, health = request(base, "GET", "/healthz")
+            statuses.append(status)
+            if status != 200 or health.get("status") != "ok":
+                fail(f"healthz returned {status}: {health}")
+            if "default" not in health.get("models", []):
+                fail(f"startup model missing from {health.get('models')}")
+
+            rng = np.random.default_rng(1)
+            x = rng.uniform(0.0, 1.0, 150).tolist()
+            y = (np.asarray(x) * 2.0).tolist()
+            body = {"x": x, "y": y, "n_bandwidths": 10, "register": "smoke"}
+            status, cold = request(base, "POST", "/select", body)
+            statuses.append(status)
+            if status != 200:
+                fail(f"cold select returned {status}: {cold}")
+            if cold["cache_hit"]:
+                fail("cold select claims a cache hit on first sight")
+            status, warm = request(base, "POST", "/select", body)
+            statuses.append(status)
+            if status != 200 or not warm["cache_hit"]:
+                fail(f"warm select not served from cache: {status} {warm}")
+            if warm["result"]["bandwidth"] != cold["result"]["bandwidth"]:
+                fail(
+                    "warm bandwidth differs from cold: "
+                    f"{warm['result']['bandwidth']} vs "
+                    f"{cold['result']['bandwidth']}"
+                )
+
+            with ThreadPoolExecutor(N_CONCURRENT_PREDICTS) as pool:
+                futures = [
+                    pool.submit(
+                        request,
+                        base,
+                        "POST",
+                        "/predict",
+                        {"model": "smoke", "at": [0.1 * (i + 1), 0.5]},
+                    )
+                    for i in range(N_CONCURRENT_PREDICTS)
+                ]
+                for future in futures:
+                    status, payload = future.result()
+                    statuses.append(status)
+                    if status != 200:
+                        fail(f"predict returned {status}: {payload}")
+
+            status, metrics = request(base, "GET", "/metrics")
+            statuses.append(status)
+            hit_rate_line = next(
+                (
+                    line
+                    for line in metrics.splitlines()
+                    if line.startswith("repro_cache_hit_rate ")
+                ),
+                None,
+            )
+            if hit_rate_line is None:
+                fail("metrics dump is missing repro_cache_hit_rate")
+            hit_rate = float(hit_rate_line.split()[1])
+            if not hit_rate > 0.0:
+                fail(f"cache hit rate is {hit_rate}, expected > 0")
+
+            fives = [s for s in statuses if s >= 500]
+            if fives:
+                fail(f"observed 5xx responses: {fives}")
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    print(
+        "serving-smoke: OK "
+        f"({len(statuses)} requests, hit rate {hit_rate:.3f}, zero 5xx)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,9 +49,18 @@ class LintConfig:
         "gpusim/*.py",
         "cuda_port/*.py",
     )
-    #: ROB001: the one layer allowed to absorb broad exceptions (it
-    #: classifies them by REPRO_* code into retry/degrade/propagate).
-    resilience_modules: tuple[str, ...] = ("resilience/*.py",)
+    #: ROB001: layers allowed to absorb broad exceptions.  The resilience
+    #: layer classifies them by REPRO_* code into retry/degrade/propagate;
+    #: the two serving boundary modules convert every fault into a typed
+    #: per-request outcome (an HTTP status / a failed future) instead of
+    #: crashing the shared event loop.
+    resilience_modules: tuple[str, ...] = (
+        "resilience/*.py",
+        "serving/scheduler.py",
+        "serving/server.py",
+    )
+    #: SRV001: event-loop modules where blocking calls stall all requests.
+    serving_modules: tuple[str, ...] = ("serving/*.py",)
 
     # -- NUM004: allocations that must name their dtype -------------------
     explicit_dtype_calls: tuple[str, ...] = (
@@ -106,6 +115,18 @@ class LintConfig:
     pool_receiver_hints: tuple[str, ...] = ("pool",)
     #: Free functions that take a work-unit callable as first argument.
     pool_function_names: tuple[str, ...] = ("parallel_sum",)
+
+    # -- SRV001: calls that must not run on the serving event loop --------
+    serving_blocking_calls: tuple[str, ...] = (
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "requests.get",
+        "requests.post",
+    )
 
     # -- GPU001: nondeterminism sources banned on the device --------------
     banned_call_prefixes: tuple[str, ...] = ("time.", "random.")

@@ -9,6 +9,7 @@ from repro.analysis.rules.hotpath import LoopAllocationRule
 from repro.analysis.rules.numeric import ExplicitDtypeRule, FloatEqualityRule
 from repro.analysis.rules.parallel import PicklableWorkUnitRule
 from repro.analysis.rules.robustness import BroadExceptRule
+from repro.analysis.rules.serving import AsyncBlockingCallRule
 
 __all__ = [
     "RULE_REGISTRY",
@@ -22,4 +23,5 @@ __all__ = [
     "PicklableWorkUnitRule",
     "DeviceDeterminismRule",
     "BroadExceptRule",
+    "AsyncBlockingCallRule",
 ]

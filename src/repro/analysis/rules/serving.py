@@ -1,0 +1,101 @@
+"""Serving hygiene: SRV001 (no blocking calls on the event loop).
+
+The serving layer multiplexes every request over one asyncio event
+loop.  A single blocking call inside an ``async def`` — ``time.sleep``,
+a synchronous pool join, a blocking HTTP fetch — stalls *all* in-flight
+requests for its duration: queue-wait percentiles blow up and the
+micro-batching deadline logic (which measures wall time on the loop)
+over-batches.  Blocking work belongs on executor threads via
+``loop.run_in_executor`` — the pattern every serving runner uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = ["AsyncBlockingCallRule"]
+
+#: Method names that block when invoked synchronously on a pool/thread.
+_JOIN_LIKE = frozenset({"join", "shutdown"})
+
+
+@register_rule
+class AsyncBlockingCallRule(Rule):
+    """SRV001 — blocking call inside an ``async def`` in the serving layer.
+
+    Flags, lexically inside ``async def`` bodies of serving modules:
+
+    * calls whose canonical dotted name is configured as blocking
+      (``time.sleep``, ``subprocess.run``, ``urllib.request.urlopen``,
+      ...);
+    * synchronous pool/executor joins — ``<pool-ish>.join()`` /
+      ``.shutdown()`` and the pool submission methods from the PAR001
+      config (``pool.map`` et al.) when the receiver name hints at a
+      pool.
+
+    Nested ``def`` bodies are exempt: a sync helper defined inside an
+    async function typically runs on an executor thread, which is the
+    sanctioned home for blocking work.
+    """
+
+    rule_id = "SRV001"
+    summary = "blocking call inside async def on the serving event loop"
+    rationale = (
+        "The serving layer runs every request on one event loop; a "
+        "blocking call inside an async def stalls all concurrent "
+        "requests and skews the micro-batcher's deadline accounting. "
+        "Route blocking work through loop.run_in_executor instead."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(ctx.config.serving_modules)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for call in self._calls_in_async_body(func):
+                message = self._blocking_reason(ctx, call)
+                if message is not None:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"{message} inside 'async def {func.name}' blocks "
+                        "the serving event loop; use "
+                        "loop.run_in_executor for blocking work",
+                    )
+
+    @staticmethod
+    def _calls_in_async_body(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+        """Calls lexically in ``func``, not inside nested function defs."""
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_reason(self, ctx: ModuleContext, call: ast.Call) -> str | None:
+        name = ctx.call_name(call)
+        if name is not None and name in ctx.config.serving_blocking_calls:
+            return f"blocking call '{name}()'"
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        method = call.func.attr
+        blocking_method = method in _JOIN_LIKE or (
+            method in ctx.config.pool_method_names
+        )
+        if not blocking_method:
+            return None
+        receiver = ctx.dotted_name(call.func.value) or ""
+        lowered = receiver.lower()
+        if any(hint in lowered for hint in ctx.config.pool_receiver_hints):
+            return f"synchronous pool call '{receiver}.{method}()'"
+        return None

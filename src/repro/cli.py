@@ -8,7 +8,10 @@ Subcommands regenerate the paper's artifacts and inspect the library:
 * ``shape``  — run Table I (+ optionally Table II) and verify the
   paper's shape claims
 * ``select`` — one bandwidth selection on a chosen DGP
-* ``info``   — registered kernels, backends, devices, programs
+* ``serve``  — JSON-over-HTTP bandwidth-selection service (fingerprint
+  cache, micro-batched predict, /metrics)
+* ``info``   — registered kernels, backends, devices, programs, serving
+  cache status
 * ``lint``   — project-aware static analysis (also ``repro-lint``)
 """
 
@@ -142,8 +145,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="fail instead of degrading to another backend",
     )
+    sel.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full SelectionResult (incl. resilience report) as JSON",
+    )
+    sel.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory: identical re-runs skip the sweep "
+        "on fingerprint hit",
+    )
 
-    sub.add_parser("info", help="list kernels, backends, devices, programs")
+    srv = sub.add_parser(
+        "serve",
+        help="serve bandwidth selection over HTTP (cache + micro-batching)",
+    )
+    srv.add_argument("--host", type=str, default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8173,
+        help="TCP port (0 = let the OS pick; the bound port is printed)",
+    )
+    srv.add_argument(
+        "--dgp", type=str, default="paper",
+        help="DGP for the startup 'default' model (skipped with --no-model)",
+    )
+    srv.add_argument("--data", type=str, default=None,
+                     help="CSV of (x, y) for the startup model; overrides --dgp")
+    srv.add_argument("--n", type=int, default=1000)
+    srv.add_argument("--k", type=int, default=50)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--kernel", type=str, default="epanechnikov")
+    srv.add_argument(
+        "--backend",
+        type=str,
+        default="numpy",
+        choices=["numpy", "python", "multicore", "gpusim", "gpusim-tiled"],
+    )
+    srv.add_argument(
+        "--no-model",
+        action="store_true",
+        help="start without fitting the default model",
+    )
+    srv.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="disk tier for the artifact cache (default: memory only)",
+    )
+    srv.add_argument("--max-batch-size", type=int, default=32)
+    srv.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long an open batch waits for co-travellers",
+    )
+    srv.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission bound; beyond this requests get HTTP 429",
+    )
+    srv.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="do not degrade failed selections down the backend chain",
+    )
+
+    sub.add_parser(
+        "info",
+        help="list kernels, backends, devices, programs, serving cache",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the repro-lint static-analysis pass"
@@ -274,12 +342,66 @@ def _cmd_select(args: argparse.Namespace) -> int:
         )
         if args.resume is not None:
             kwargs["resume"] = args.resume
+    if args.cache_dir is not None:
+        from repro.serving import ArtifactCache
+
+        kwargs["cache"] = ArtifactCache(args.cache_dir)
     result = select_bandwidth(x, y, method=method, kernel=args.kernel, **kwargs)
+    if args.json:
+        import json
+
+        payload = result.to_dict()
+        payload["scale_factor"] = bandwidth_to_scale(result.bandwidth, x)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(result.summary())
     if result.resilience is not None:
         print(result.resilience.summary())
     print(f"  scale factor  : {bandwidth_to_scale(result.bandwidth, x):.4f} "
           "(h / spread*n^-1/5, np convention)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import SchedulerConfig, ServingApp, ServingConfig, serve_forever
+
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        predict=SchedulerConfig(
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+        ),
+        resilience=not args.no_resilience,
+        default_backend=args.backend,
+        default_kernel=args.kernel,
+        default_n_bandwidths=args.k,
+    )
+    app = ServingApp(config)
+    if not args.no_model:
+        from repro.data import generate, load_xy_csv
+
+        if args.data:
+            x, y = load_xy_csv(args.data)
+        else:
+            sample = generate(args.dgp, args.n, seed=args.seed)
+            x, y = sample.x, sample.y
+        record = app.registry.fit(
+            "default",
+            x,
+            y,
+            kernel=args.kernel,
+            n_bandwidths=args.k,
+            backend=args.backend,
+        )
+        print(
+            f"fitted model 'default' (n={len(x)}, "
+            f"h*={record.bandwidth:.6g})",
+            flush=True,
+        )
+    serve_forever(app)
     return 0
 
 
@@ -290,6 +412,7 @@ def _cmd_info(_: argparse.Namespace) -> int:
     from repro.data import DGP_REGISTRY
     from repro.gpusim import DEVICE_REGISTRY
     from repro.kernels import fast_grid_kernels, list_kernels
+    from repro.serving import ArtifactCache, ServingConfig
 
     print("kernels        :", ", ".join(list_kernels()))
     print("fast-grid OK   :", ", ".join(fast_grid_kernels()))
@@ -297,6 +420,21 @@ def _cmd_info(_: argparse.Namespace) -> int:
     print("devices        :", ", ".join(sorted(DEVICE_REGISTRY)))
     print("programs       :", ", ".join(sorted(PROGRAMS)))
     print("DGPs           :", ", ".join(sorted(DGP_REGISTRY)))
+    defaults = ServingConfig()
+    cache = ArtifactCache(None)
+    desc = cache.describe()
+    print(
+        "serving        :",
+        f"default {defaults.host}:{defaults.port}, "
+        f"backend={defaults.default_backend}, "
+        f"kernel={defaults.default_kernel}",
+    )
+    print(
+        "serving cache  :",
+        f"memory budget {desc['max_memory_bytes']} B, "
+        f"disk tier {'on' if desc['directory'] else 'off (pass --cache-dir)'}, "
+        f"entries {desc['memory_entries']}",
+    )
     return 0
 
 
@@ -320,6 +458,7 @@ _COMMANDS = {
     "fig1": _cmd_fig1,
     "shape": _cmd_shape,
     "select": _cmd_select,
+    "serve": _cmd_serve,
     "info": _cmd_info,
     "lint": _cmd_lint,
 }

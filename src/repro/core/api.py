@@ -12,7 +12,8 @@ Power users construct selectors directly from
 
 from __future__ import annotations
 
-from typing import Any
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -25,6 +26,10 @@ from repro.core.selectors import (
     RuleOfThumbSelector,
 )
 from repro.utils.validation import check_paired_samples
+
+if TYPE_CHECKING:  # deferred: serving/resilience import the core back
+    from repro.resilience.engine import ResilienceConfig
+    from repro.serving.cache import ArtifactCache
 
 __all__ = ["select_bandwidth"]
 
@@ -41,6 +46,42 @@ _METHOD_ALIASES = {
 }
 
 
+def _selection_cache_key(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    canonical: str,
+    kernel: str,
+    n_bandwidths: int,
+    grid: BandwidthGrid | None,
+    backend: str,
+    options: dict[str, Any],
+) -> str:
+    """Fingerprint of everything that determines this selection's output."""
+    from repro.kernels import get_kernel
+    from repro.serving.cache import selection_fingerprint
+
+    if canonical == "grid":
+        grid_values = (
+            grid.values if grid is not None else BandwidthGrid.for_sample(
+                x, n_bandwidths
+            ).values
+        )
+    else:
+        grid_values = np.empty(0, dtype=np.float64)
+    keyed_options = dict(options)
+    keyed_options["n_bandwidths"] = n_bandwidths
+    return selection_fingerprint(
+        x,
+        y,
+        grid_values,
+        get_kernel(kernel).name,
+        method=canonical,
+        backend=backend if canonical == "grid" else canonical,
+        options=keyed_options,
+    )
+
+
 def select_bandwidth(
     x: np.ndarray,
     y: np.ndarray,
@@ -50,8 +91,9 @@ def select_bandwidth(
     n_bandwidths: int = 50,
     grid: BandwidthGrid | None = None,
     backend: str = "numpy",
-    resilience: Any = None,
-    resume: Any = None,
+    cache: "ArtifactCache | None" = None,
+    resilience: "ResilienceConfig | bool | None" = None,
+    resume: str | Path | None = None,
     **options: Any,
 ) -> SelectionResult:
     """Select the LOO-CV-optimal bandwidth for a kernel regression of y on x.
@@ -72,6 +114,14 @@ def select_bandwidth(
     backend:
         Execution backend for the grid method: ``"numpy"``, ``"python"``,
         ``"multicore"``, ``"gpusim"``, ``"gpusim-tiled"``.
+    cache:
+        An :class:`~repro.serving.cache.ArtifactCache`.  The selection is
+        keyed by the SHA-256 fingerprint of ``(x, y, grid, kernel,
+        method, backend, options)``; on a hit the cached
+        :class:`SelectionResult` is returned **without recomputing the
+        sweep** — bit-for-bit identical to the cold run, with
+        ``diagnostics["cache"] == "hit"``.  On a miss the result (and,
+        for the grid method, the CV curve) is stored for next time.
     resilience:
         ``True`` or a :class:`~repro.resilience.engine.ResilienceConfig`
         to run on the resilient execution engine: transient faults are
@@ -112,6 +162,23 @@ def select_bandwidth(
         raise ValidationError(
             "resume= (checkpointing) is only supported by the grid method"
         )
+
+    cache_key: str | None = None
+    if cache is not None:
+        cache_key = _selection_cache_key(
+            x,
+            y,
+            canonical=canonical,
+            kernel=kernel,
+            n_bandwidths=n_bandwidths,
+            grid=grid,
+            backend=backend,
+            options=options,
+        )
+        warm = cache.get_selection(cache_key)
+        if warm is not None:
+            return warm
+
     selector: Any
     if canonical == "grid":
         selector = GridSearchSelector(
@@ -119,6 +186,7 @@ def select_bandwidth(
             n_bandwidths=n_bandwidths,
             grid=grid,
             backend=backend,
+            cache=cache,
             resilience=resilience,
             resume=resume,
             **options,
@@ -134,4 +202,7 @@ def select_bandwidth(
                 "(it has no failure modes to guard)"
             )
         selector = RuleOfThumbSelector(kernel, **options)
-    return selector.select(x, y)
+    result = selector.select(x, y)
+    if cache is not None and cache_key is not None:
+        cache.put_selection(cache_key, result)
+    return result

@@ -98,6 +98,46 @@ class SelectionResult:
             or np.isclose(self.bandwidth, hi, rtol=rtol)
         )
 
+    def to_dict(self, *, include_curve: bool = True) -> dict[str, Any]:
+        """JSON-ready dict (CLI ``--json``, the serving layer, artifacts).
+
+        Arrays become lists; the resilience report is included via its
+        own ``to_dict`` when present.  ``include_curve=False`` drops the
+        evaluated grid/scores for compact payloads.
+        """
+
+        def scrub(value: Any) -> Any:
+            if isinstance(value, dict):
+                return {str(k): scrub(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [scrub(v) for v in value]
+            if isinstance(value, np.ndarray):
+                return value.tolist()
+            if isinstance(value, np.generic):
+                return value.item()
+            return value
+
+        out: dict[str, Any] = {
+            "bandwidth": self.bandwidth,
+            "score": self.score,
+            "method": self.method,
+            "backend": self.backend,
+            "kernel": self.kernel,
+            "n_observations": self.n_observations,
+            "n_evaluations": self.n_evaluations,
+            "wall_seconds": self.wall_seconds,
+            "converged": self.converged,
+            "diagnostics": scrub(self.diagnostics),
+        }
+        if include_curve:
+            out["bandwidths"] = self.bandwidths.tolist()
+            out["scores"] = self.scores.tolist()
+        if self.resilience is not None and hasattr(self.resilience, "to_dict"):
+            out["resilience"] = self.resilience.to_dict()
+        else:
+            out["resilience"] = None
+        return out
+
     def summary(self) -> str:
         """One-paragraph human-readable description."""
         lines = [

@@ -19,10 +19,15 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Any, Callable
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 from scipy import optimize
+
+if TYPE_CHECKING:  # deferred: both packages import the core back
+    from repro.resilience.engine import ResilienceConfig
+    from repro.serving.cache import ArtifactCache
 
 from repro.exceptions import SelectionError, ValidationError
 from repro.kernels import get_kernel
@@ -96,6 +101,12 @@ class GridSearchSelector(BandwidthSelector):
     backend_options:
         Extra keyword arguments forwarded to the backend (``workers``,
         ``chunk_rows``, ``dtype``, ``device`` ...).
+    cache:
+        An :class:`~repro.serving.cache.ArtifactCache`.  Each sweep's CV
+        curve is looked up by its fingerprint (data + grid + kernel +
+        backend + dtype) before computing; a hit skips the O(n² log n)
+        sweep and returns the stored float64 curve bit-for-bit.
+        Refinement rounds are cached per refined grid too.
     resilience:
         ``True``, a :class:`~repro.resilience.engine.ResilienceConfig`,
         or ``None`` (default).  When enabled, the sweep runs on the
@@ -120,14 +131,16 @@ class GridSearchSelector(BandwidthSelector):
         grid: BandwidthGrid | None = None,
         backend: str = "numpy",
         refine_rounds: int = 0,
-        resilience: Any = None,
-        resume: Any = None,
+        cache: "ArtifactCache | None" = None,
+        resilience: "ResilienceConfig | bool | None" = None,
+        resume: str | Path | None = None,
         **backend_options: Any,
     ) -> None:
         self.kernel = get_kernel(kernel)
         self.n_bandwidths = check_positive_int(n_bandwidths, name="n_bandwidths")
         self.grid = grid
         self.backend_name = backend
+        self.cache = cache
         if refine_rounds < 0:
             raise ValidationError(f"refine_rounds must be >= 0, got {refine_rounds}")
         self.refine_rounds = int(refine_rounds)
@@ -143,6 +156,51 @@ class GridSearchSelector(BandwidthSelector):
         if self.grid is not None:
             return self.grid
         return BandwidthGrid.for_sample(x, self.n_bandwidths)
+
+    def _with_curve_cache(
+        self,
+        evaluate: Callable[..., np.ndarray],
+        x: np.ndarray,
+        y: np.ndarray,
+        engine: Any,
+    ) -> Callable[..., np.ndarray]:
+        """Wrap a sweep so exact-fingerprint curves skip recomputation.
+
+        The curve key covers data, grid values, kernel, backend, and the
+        dtype option — everything that determines the float summations —
+        so a hit is bit-for-bit the curve the sweep would produce.  When
+        the resilient engine degraded to another backend, the curve is
+        stored under the backend that actually computed it.
+        """
+        if self.cache is None:
+            return evaluate
+        from repro.serving.cache import curve_fingerprint
+
+        cache = self.cache
+        dtype = str(self.backend_options.get("dtype", "default"))
+
+        def key_for(values: np.ndarray, backend_name: str) -> str:
+            return curve_fingerprint(
+                x, y, values, self.kernel.name, backend=backend_name, dtype=dtype
+            )
+
+        def cached_evaluate(values: np.ndarray, *, first: bool) -> np.ndarray:
+            key = key_for(values, self.backend_name)
+            warm = cache.get_curve(key)
+            if warm is not None and warm.shape == values.shape:
+                return warm
+            scores = evaluate(values, first=first)
+            used = self.backend_name
+            if engine is not None and engine.report.backend_used:
+                used = engine.report.backend_used
+            cache.put_curve(
+                key if used == self.backend_name else key_for(values, used),
+                values,
+                np.asarray(scores, dtype=np.float64),
+            )
+            return scores
+
+        return cached_evaluate
 
     def select(self, x: np.ndarray, y: np.ndarray) -> SelectionResult:
         x, y = check_paired_samples(x, y)
@@ -180,8 +238,9 @@ class GridSearchSelector(BandwidthSelector):
                     backend(x, y, values, self.kernel, **self.backend_options)
                 )
 
+        sweep = self._with_curve_cache(evaluate, x, y, engine)
         refinements: list[dict[str, float]] = []
-        scores = evaluate(grid.values, first=True)
+        scores = sweep(grid.values, first=True)
         best_j = _argmin_with_empty_window_guard(scores)
         best_h = float(grid.values[best_j])
         best_score = float(scores[best_j])
@@ -190,7 +249,7 @@ class GridSearchSelector(BandwidthSelector):
         current = grid
         for round_idx in range(self.refine_rounds):
             current = current.refine_around(best_h)
-            finer = evaluate(current.values, first=False)
+            finer = sweep(current.values, first=False)
             j = _argmin_with_empty_window_guard(finer)
             if finer[j] <= best_score:
                 best_h = float(current.values[j])
@@ -275,7 +334,7 @@ class NumericalOptimizationSelector(BandwidthSelector):
         workers: int = 1,
         seed: int | None = 0,
         maxiter: int = 200,
-        resilience: Any = None,
+        resilience: "ResilienceConfig | bool | None" = None,
     ) -> None:
         self.kernel = get_kernel(kernel)
         if method not in ("nelder-mead", "brent"):

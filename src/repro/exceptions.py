@@ -37,6 +37,10 @@ __all__ = [
     "BlockTimeoutError",
     "DataCorruptionError",
     "CheckpointError",
+    "ServingError",
+    "CacheError",
+    "RegistryError",
+    "OverloadError",
     "error_code",
 ]
 
@@ -197,3 +201,39 @@ class CheckpointError(ReproError):
     """A checkpoint file is unreadable or belongs to a different sweep."""
 
     code = "REPRO_CHECKPOINT"
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the serving layer."""
+
+    code = "REPRO_SERVING"
+
+
+class CacheError(ServingError):
+    """An artifact-cache entry is unreadable or fails its integrity check.
+
+    A corrupt or truncated cache file is treated as a miss by the read
+    path wherever possible; this error surfaces only when the cache
+    itself is misconfigured (bad budget, unwritable directory) or a
+    stored payload contradicts its own metadata.
+    """
+
+    code = "REPRO_CACHE"
+
+
+class RegistryError(ServingError):
+    """A model-registry operation referenced an unknown or duplicate model."""
+
+    code = "REPRO_REGISTRY"
+
+
+class OverloadError(ServingError):
+    """The serving layer shed a request under admission control.
+
+    Raised when the micro-batching scheduler's bounded queue is full —
+    the request never started executing, so the caller can safely retry
+    against another replica or after backoff.  Mapped to HTTP 429 by the
+    server.
+    """
+
+    code = "REPRO_SERVE_OVERLOAD"

@@ -1,0 +1,62 @@
+"""Serving layer: artifact cache, model registry, micro-batching, HTTP.
+
+Bandwidth selection as a service.  The paper's sweep is O(n² log n) per
+dataset but its outputs are pure functions of their inputs, so a serving
+stack can amortise nearly all of it:
+
+* :mod:`~repro.serving.cache` — two-tier (memory LRU + disk) artifact
+  cache keyed by the SHA-256 dataset fingerprint; stores full
+  :class:`~repro.core.result.SelectionResult`\\ s, CV score curves, and
+  per-row-block partial sums with atomic writes and byte budgets;
+* :mod:`~repro.serving.registry` — named fitted models
+  (fit once, predict many) with bandwidth provenance;
+* :mod:`~repro.serving.scheduler` — asyncio micro-batching request
+  engine (size-or-deadline coalescing, bounded-queue admission control,
+  graceful drain);
+* :mod:`~repro.serving.metrics` — counters/gauges/histograms with a
+  dict snapshot and a ``/metrics``-style text dump;
+* :mod:`~repro.serving.server` — stdlib JSON-over-HTTP endpoint
+  (``/select``, ``/predict``, ``/fit``, ``/models``, ``/healthz``,
+  ``/metrics``) behind the ``repro-bench serve`` CLI subcommand.
+
+Wired into the core API via ``select_bandwidth(cache=...)``: a warm
+selection with an identical fingerprint returns bit-for-bit the same
+bandwidth while skipping the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.serving.cache import (
+    ArtifactCache,
+    CacheStats,
+    curve_fingerprint,
+    selection_fingerprint,
+)
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.registry import ModelRecord, ModelRegistry
+from repro.serving.scheduler import MicroBatchScheduler, SchedulerConfig
+from repro.serving.server import (
+    ServingApp,
+    ServingConfig,
+    run_server,
+    serve_forever,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MicroBatchScheduler",
+    "ModelRecord",
+    "ModelRegistry",
+    "SchedulerConfig",
+    "ServingApp",
+    "ServingConfig",
+    "curve_fingerprint",
+    "run_server",
+    "selection_fingerprint",
+    "serve_forever",
+]

@@ -1,0 +1,231 @@
+"""Lightweight serving metrics: counters, gauges, latency histograms.
+
+Stdlib-only and allocation-light — the point is observability of the
+serving hot path (cache hit rate, batch occupancy, queue depth, request
+latency) without pulling in a metrics client.  Two output forms:
+
+* :meth:`MetricsRegistry.snapshot` — a plain nested dict for JSON
+  endpoints and tests;
+* :meth:`MetricsRegistry.render_text` — a ``/metrics``-style text dump
+  (one ``name value`` line per series, ``# HELP`` comments), greppable
+  and scrape-compatible with Prometheus' exposition format at the level
+  the fixture tooling needs.
+
+Histograms keep a bounded reservoir of recent observations (newest-wins
+ring buffer) plus exact count/sum, so p50/p99 reflect recent behaviour
+and memory stays O(reservoir) under unbounded traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from typing import Any, Iterable
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, registered models)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Count/sum plus a bounded reservoir for percentile estimates.
+
+    The reservoir is a ring buffer of the most recent ``reservoir``
+    observations; percentiles are computed over a sorted copy at
+    snapshot time.  For serving-scale traffic this biases percentiles
+    toward recent load, which is what an operator wants from p99.
+    """
+
+    def __init__(
+        self, name: str, help_text: str = "", *, reservoir: int = 1024
+    ) -> None:
+        if reservoir < 1:
+            raise ValidationError(f"reservoir must be >= 1, got {reservoir}")
+        self.name = name
+        self.help_text = help_text
+        self._reservoir_size = int(reservoir)
+        self._recent: list[float] = []
+        self._next = 0
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if len(self._recent) < self._reservoir_size:
+                self._recent.append(value)
+            else:
+                self._recent[self._next] = value
+                self._next = (self._next + 1) % self._reservoir_size
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the reservoir (NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._recent:
+                return float("nan")
+            ordered: list[float] = []
+            for value in self._recent:
+                insort(ordered, value)
+            rank = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            recent = list(self._recent)
+            count, total = self._count, self._sum
+        if recent:
+            recent.sort()
+
+            def at(q: float) -> float:
+                return recent[min(len(recent) - 1, int(q * len(recent)))]
+
+            p50, p90, p99 = at(0.50), at(0.90), at(0.99)
+            maximum = recent[-1]
+        else:
+            p50 = p90 = p99 = maximum = float("nan")
+        return {
+            "count": float(count),
+            "sum": total,
+            "mean": total / count if count else float("nan"),
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
+            "max": maximum,
+        }
+
+
+class MetricsRegistry:
+    """Namespace of metrics with lazy creation and uniform export.
+
+    ``counter``/``gauge``/``histogram`` return the existing series when
+    the name is already registered (so call sites never coordinate), and
+    raise when a name is reused across metric types.
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._series: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help_text)
+
+    def _get_or_create(
+        self, cls: type, name: str, help_text: str
+    ) -> Any:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = cls(name, help_text)
+                self._series[name] = series
+            elif not isinstance(series, cls):
+                raise ValidationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(series).__name__}, requested {cls.__name__}"
+                )
+            return series
+
+    def names(self) -> Iterable[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict snapshot of every series (JSON-ready)."""
+        with self._lock:
+            series = dict(self._series)
+        out: dict[str, Any] = {}
+        for name in sorted(series):
+            metric = series[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render_text(self) -> str:
+        """``/metrics``-style exposition: ``<prefix>_<name> <value>``."""
+        with self._lock:
+            series = dict(self._series)
+        lines: list[str] = []
+        for name in sorted(series):
+            metric = series[name]
+            full = f"{self.prefix}_{name}"
+            if metric.help_text:
+                lines.append(f"# HELP {full} {metric.help_text}")
+            if isinstance(metric, Histogram):
+                stats = metric.summary()
+                lines.append(f"{full}_count {stats['count']:.0f}")
+                lines.append(f"{full}_sum {stats['sum']:.9g}")
+                for label in ("p50", "p90", "p99"):
+                    lines.append(f"{full}_{label} {stats[label]:.9g}")
+            else:
+                lines.append(f"{full} {metric.value:.9g}")
+        return "\n".join(lines) + "\n"

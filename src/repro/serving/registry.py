@@ -1,0 +1,216 @@
+"""Named model registry: fit once, predict many.
+
+The serving layer's unit of reuse above the artifact cache: a fitted
+:class:`~repro.regression.NadarayaWatson` estimator plus the provenance
+of its bandwidth (dataset fingerprint, selection method, backend,
+selection wall time).  ``/predict`` requests resolve a model by name and
+never pay selection cost; ``/select`` requests can register their result
+so later traffic reuses it.
+
+The registry is thread-safe: the asyncio server touches it from
+executor threads (fit/predict) and the event loop (listing, health).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.exceptions import RegistryError, ValidationError
+from repro.core.grid import BandwidthGrid
+from repro.core.result import SelectionResult
+from repro.regression import NadarayaWatson
+from repro.serving.cache import ArtifactCache, selection_fingerprint
+from repro.utils.validation import check_paired_samples
+
+__all__ = ["ModelRecord", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One registered estimator and where its bandwidth came from."""
+
+    name: str
+    model: NadarayaWatson
+    bandwidth: float
+    #: Provenance: fingerprint, method, backend, kernel, selection wall
+    #: time, cache hit/miss, registration timestamp (UNIX seconds).
+    provenance: dict[str, Any] = field(default_factory=dict)
+    result: SelectionResult | None = None
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary (no arrays)."""
+        return {
+            "name": self.name,
+            "bandwidth": self.bandwidth,
+            "n_observations": (
+                int(self.model.x_.shape[0]) if self.model.x_ is not None else 0
+            ),
+            "provenance": dict(self.provenance),
+        }
+
+
+class ModelRegistry:
+    """Name → fitted-model map with selection provenance.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`ArtifactCache`; when given, :meth:`fit` routes
+        its bandwidth selection through the cache so re-fitting a model
+        on an already-seen dataset skips the sweep entirely.
+    """
+
+    def __init__(self, cache: ArtifactCache | None = None) -> None:
+        self.cache = cache
+        self._records: dict[str, ModelRecord] = {}
+        self._lock = threading.RLock()
+
+    # -- registration ------------------------------------------------------
+
+    def fit(
+        self,
+        name: str,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        method: str = "grid",
+        kernel: str = "epanechnikov",
+        n_bandwidths: int = 50,
+        backend: str = "numpy",
+        overwrite: bool = False,
+        **options: Any,
+    ) -> ModelRecord:
+        """Select a bandwidth for ``(x, y)`` and register the fitted model.
+
+        The selection goes through :func:`repro.core.api.select_bandwidth`
+        with this registry's cache, so identical datasets hit the warm
+        path.  Returns the stored :class:`ModelRecord`.
+        """
+        from repro.core.api import select_bandwidth
+
+        if not name or not isinstance(name, str):
+            raise ValidationError(f"model name must be a non-empty str, got {name!r}")
+        with self._lock:
+            if name in self._records and not overwrite:
+                raise RegistryError(
+                    f"model {name!r} is already registered; pass overwrite=True "
+                    "to replace it"
+                )
+        x, y = check_paired_samples(x, y)
+        result = select_bandwidth(
+            x,
+            y,
+            method=method,
+            kernel=kernel,
+            n_bandwidths=n_bandwidths,
+            backend=backend,
+            cache=self.cache,
+            **options,
+        )
+        model = NadarayaWatson(kernel, bandwidth=result.bandwidth).fit(x, y)
+        grid = BandwidthGrid.for_sample(x, n_bandwidths)
+        provenance = {
+            "fingerprint": selection_fingerprint(
+                x,
+                y,
+                grid.values,
+                model.kernel.name,
+                method=method,
+                backend=backend,
+                options=options,
+            ),
+            "method": result.method,
+            "backend": result.backend,
+            "kernel": result.kernel,
+            "selection_wall_seconds": result.wall_seconds,
+            "cache": result.diagnostics.get("cache", "miss"),
+            "registered_at": time.time(),
+        }
+        record = ModelRecord(
+            name=name,
+            model=model,
+            bandwidth=float(result.bandwidth),
+            provenance=provenance,
+            result=result,
+        )
+        with self._lock:
+            self._records[name] = record
+        return record
+
+    def register(
+        self,
+        name: str,
+        model: NadarayaWatson,
+        *,
+        provenance: dict[str, Any] | None = None,
+        result: SelectionResult | None = None,
+        overwrite: bool = False,
+    ) -> ModelRecord:
+        """Register an externally fitted model (must already be fitted)."""
+        if model.x_ is None or model.bandwidth is None:
+            raise ValidationError(
+                "model must be fitted (call .fit(x, y)) before registration"
+            )
+        with self._lock:
+            if name in self._records and not overwrite:
+                raise RegistryError(
+                    f"model {name!r} is already registered; pass overwrite=True"
+                )
+            record = ModelRecord(
+                name=name,
+                model=model,
+                bandwidth=float(model.bandwidth),
+                provenance=dict(provenance or {}),
+                result=result,
+            )
+            self._records[name] = record
+            return record
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, name: str) -> ModelRecord:
+        """The record for ``name``; typed error listing known models."""
+        with self._lock:
+            record = self._records.get(name)
+            known = ", ".join(sorted(self._records)) or "(none)"
+        if record is None:
+            raise RegistryError(f"unknown model {name!r}; registered: {known}")
+        return record
+
+    def predict(self, name: str, at: np.ndarray) -> np.ndarray:
+        """NW estimates from the named model at points ``at``."""
+        return self.get(name).model.predict(at)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._records))
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def describe(self) -> list[dict[str, Any]]:
+        """JSON-ready summaries of every registered model."""
+        with self._lock:
+            records = [self._records[n] for n in sorted(self._records)]
+        return [record.describe() for record in records]
+
+    def drop(self, name: str) -> None:
+        """Remove a model (typed error when absent)."""
+        with self._lock:
+            if name not in self._records:
+                raise RegistryError(f"unknown model {name!r}; nothing to drop")
+            del self._records[name]

@@ -1,0 +1,289 @@
+"""Asyncio micro-batching request engine with admission control.
+
+Concurrent requests are cheap individually but expensive per-dispatch:
+one ``/predict`` call pays Python/HTTP overhead plus a kernel-weighted
+matrix pass whose cost is dominated by setup at small ``m``.  Coalescing
+``B`` concurrent requests into one batch amortises that setup ``B``-fold
+— the same argument the paper makes for evaluating the whole bandwidth
+grid in one sweep instead of per-``h`` passes.
+
+Mechanics
+---------
+Requests enter a bounded queue (admission control: a full queue rejects
+with the typed ``REPRO_SERVE_OVERLOAD`` :class:`OverloadError` rather
+than building unbounded latency).  A collector task takes the first
+waiting item, then keeps gathering until either ``max_batch_size`` items
+are in hand or ``max_wait_ms`` has elapsed since the batch opened — the
+classic size-or-deadline micro-batching policy.  The whole batch is then
+handed to the (blocking, numpy-bound) runner **on an executor thread**,
+never on the event loop; results fan back out to the per-request
+futures.
+
+Shutdown is graceful: :meth:`drain` stops admissions, waits for queued
+work to finish, and cancels the collector — in-flight requests complete,
+new ones are rejected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+from repro.exceptions import OverloadError, ValidationError
+from repro.serving.metrics import MetricsRegistry
+
+__all__ = ["BatchItem", "MicroBatchScheduler", "SchedulerConfig"]
+
+TRequest = TypeVar("TRequest")
+TResult = TypeVar("TResult")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning for one :class:`MicroBatchScheduler`.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest batch handed to the runner in one executor trip.
+    max_wait_ms:
+        How long an open batch waits for co-travellers before executing.
+        ``0`` disables coalescing (each request runs alone, still off
+        the event loop).
+    max_queue:
+        Admission bound: requests beyond this many waiting are rejected
+        with :class:`OverloadError`.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValidationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_queue < 1:
+            raise ValidationError(f"max_queue must be >= 1, got {self.max_queue}")
+
+
+@dataclass
+class BatchItem(Generic[TRequest]):
+    """One queued request and the future its caller awaits."""
+
+    payload: TRequest
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+
+
+class MicroBatchScheduler(Generic[TRequest, TResult]):
+    """Coalesces concurrent requests into batches for a blocking runner.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(payloads) -> results`` — a *blocking* callable executed
+        on the event loop's default executor; must return one result per
+        payload, in order.  Exceptions fail the whole batch (every
+        waiter sees the error).
+    config:
+        Batch/queue tuning (:class:`SchedulerConfig`).
+    metrics:
+        Optional :class:`MetricsRegistry`; the scheduler records batch
+        occupancy, queue depth, wait and run latency under
+        ``<name>_*`` series.
+    name:
+        Metric namespace, e.g. ``"predict"``.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Sequence[TRequest]], Sequence[TResult]],
+        *,
+        config: SchedulerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        name: str = "batch",
+    ) -> None:
+        self.runner = runner
+        self.config = config or SchedulerConfig()
+        self.name = name
+        self.metrics = metrics
+        self._queue: asyncio.Queue[BatchItem[TRequest] | None] = asyncio.Queue()
+        self._collector: asyncio.Task[None] | None = None
+        self._closing = False
+        self._batches = 0
+        self._requests = 0
+        self._rejected = 0
+        if metrics is not None:
+            self._m_occupancy = metrics.histogram(
+                f"{name}_batch_occupancy", "requests coalesced per batch"
+            )
+            self._m_wait = metrics.histogram(
+                f"{name}_queue_wait_seconds", "time from enqueue to batch start"
+            )
+            self._m_run = metrics.histogram(
+                f"{name}_batch_run_seconds", "runner execution time per batch"
+            )
+            self._m_depth = metrics.gauge(
+                f"{name}_queue_depth", "requests waiting for a batch slot"
+            )
+            self._m_rejected = metrics.counter(
+                f"{name}_rejected_total", "requests shed by admission control"
+            )
+            self._m_requests = metrics.counter(
+                f"{name}_requests_total", "requests admitted"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the collector task on the running event loop."""
+        if self._collector is None or self._collector.done():
+            self._closing = False
+            self._collector = asyncio.get_running_loop().create_task(
+                self._collect_loop()
+            )
+
+    @property
+    def running(self) -> bool:
+        return self._collector is not None and not self._collector.done()
+
+    async def drain(self) -> None:
+        """Stop admissions, finish queued work, stop the collector."""
+        self._closing = True
+        if self._collector is None:
+            return
+        await self._queue.put(None)  # sentinel: wake the collector
+        await self._collector
+        self._collector = None
+        # Fail anything that slipped in after the sentinel.
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not None and not item.future.done():
+                item.future.set_exception(
+                    OverloadError("scheduler drained before the request ran")
+                )
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, payload: TRequest) -> TResult:
+        """Queue one request and await its batched result.
+
+        Raises :class:`OverloadError` immediately when the scheduler is
+        draining or the bounded queue is full.
+        """
+        if self._closing or not self.running:
+            self._rejected += 1
+            if self.metrics is not None:
+                self._m_rejected.inc()
+            raise OverloadError(
+                f"scheduler {self.name!r} is not accepting requests "
+                "(draining or not started)"
+            )
+        if self._queue.qsize() >= self.config.max_queue:
+            self._rejected += 1
+            if self.metrics is not None:
+                self._m_rejected.inc()
+            raise OverloadError(
+                f"queue for {self.name!r} is full "
+                f"({self.config.max_queue} waiting); retry with backoff"
+            )
+        loop = asyncio.get_running_loop()
+        item: BatchItem[TRequest] = BatchItem(
+            payload=payload,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        self._requests += 1
+        if self.metrics is not None:
+            self._m_requests.inc()
+        await self._queue.put(item)
+        if self.metrics is not None:
+            self._m_depth.set(self._queue.qsize())
+        result: TResult = await item.future
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    async def _collect_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            deadline = loop.time() + self.config.max_wait_ms / 1000.0
+            stop = False
+            while len(batch) < self.config.max_batch_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            if self.metrics is not None:
+                self._m_depth.set(self._queue.qsize())
+            await self._run_batch(batch, loop)
+            if stop:
+                return
+
+    async def _run_batch(
+        self, batch: list[BatchItem[TRequest]], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        self._batches += 1
+        started = loop.time()
+        if self.metrics is not None:
+            self._m_occupancy.observe(len(batch))
+            for item in batch:
+                self._m_wait.observe(started - item.enqueued_at)
+        payloads = [item.payload for item in batch]
+        try:
+            results = await loop.run_in_executor(None, self.runner, payloads)
+        except Exception as exc:
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        finally:
+            if self.metrics is not None:
+                self._m_run.observe(loop.time() - started)
+        if len(results) != len(batch):
+            error = ValidationError(
+                f"runner returned {len(results)} results for a batch of "
+                f"{len(batch)}"
+            )
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        for item, result in zip(batch, results):
+            if not item.future.done():
+                item.future.set_result(result)
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Occupancy/throughput snapshot (JSON-ready)."""
+        return {
+            "name": self.name,
+            "running": self.running,
+            "queue_depth": self._queue.qsize(),
+            "max_batch_size": self.config.max_batch_size,
+            "max_wait_ms": self.config.max_wait_ms,
+            "max_queue": self.config.max_queue,
+            "batches": self._batches,
+            "requests": self._requests,
+            "rejected": self._rejected,
+            "mean_occupancy": self._requests / self._batches if self._batches else 0.0,
+        }

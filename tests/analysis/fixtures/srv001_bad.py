@@ -1,0 +1,10 @@
+# lint-fixture: rel=serving/handlers.py expect=SRV001
+"""Deliberate violation: blocking calls on the serving event loop."""
+
+import time
+
+
+async def handle_request(pool, payload):
+    time.sleep(0.05)  # stalls every in-flight request
+    pool.join()  # synchronous pool join on the loop
+    return payload

@@ -1,0 +1,16 @@
+# lint-fixture: rel=serving/handlers.py expect=none
+"""Clean: blocking work rides an executor thread, never the loop."""
+
+import asyncio
+import time
+
+
+async def handle_request(runner, payload):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, runner, payload)
+
+
+def blocking_helper():
+    # Sync context: sleeping here is someone else's executor thread.
+    time.sleep(0.05)
+    return None

@@ -45,6 +45,115 @@ class TestMethodDispatch:
             select_bandwidth(s.x, s.y, method="magic")
 
 
+class TestMethodAliasTable:
+    """Every entry in ``_METHOD_ALIASES`` is a working spelling."""
+
+    def _aliases(self) -> dict[str, str]:
+        from repro.core.api import _METHOD_ALIASES
+
+        return dict(_METHOD_ALIASES)
+
+    def test_table_covers_all_three_selectors(self):
+        assert set(self._aliases().values()) == {
+            "grid",
+            "numeric",
+            "rule-of-thumb",
+        }
+
+    def test_every_alias_resolves(self, paper_sample_small):
+        s = paper_sample_small
+        expected_method = {
+            "grid": "grid-search",
+            "numeric": "numerical-optimization",
+            "rule-of-thumb": "rule-of-thumb",
+        }
+        per_canonical_kwargs = {
+            "grid": {"n_bandwidths": 5},
+            "numeric": {"n_restarts": 1, "maxiter": 20},
+            "rule-of-thumb": {},
+        }
+        for alias, canonical in self._aliases().items():
+            res = select_bandwidth(
+                s.x, s.y, method=alias, **per_canonical_kwargs[canonical]
+            )
+            assert res.method == expected_method[canonical], alias
+
+    def test_aliases_are_case_insensitive(self, paper_sample_small):
+        s = paper_sample_small
+        kwargs_for = {
+            "grid": {"n_bandwidths": 4},
+            "numeric": {"n_restarts": 1, "maxiter": 20},
+            "rule-of-thumb": {},
+        }
+        for alias, canonical in self._aliases().items():
+            res = select_bandwidth(
+                s.x, s.y, method=alias.upper(), **kwargs_for[canonical]
+            )
+            assert res.bandwidth > 0, alias
+
+    def test_unknown_method_error_lists_every_alias(self, paper_sample_small):
+        s = paper_sample_small
+        with pytest.raises(ValidationError) as err:
+            select_bandwidth(s.x, s.y, method="nope")
+        message = str(err.value)
+        for alias in self._aliases():
+            assert alias in message
+
+    def test_rot_rejects_resilience(self, paper_sample_small):
+        s = paper_sample_small
+        with pytest.raises(ValidationError, match="resilience"):
+            select_bandwidth(s.x, s.y, method="rot", resilience=True)
+
+    def test_non_grid_rejects_resume(self, paper_sample_small):
+        s = paper_sample_small
+        with pytest.raises(ValidationError, match="resume"):
+            select_bandwidth(
+                s.x, s.y, method="rot", resume="checkpoint.npz"
+            )
+
+
+class TestArtifactCacheIntegration:
+    def test_warm_call_returns_identical_result_without_sweep(
+        self, paper_sample_small
+    ):
+        from repro.serving import ArtifactCache
+
+        s = paper_sample_small
+        cache = ArtifactCache(None)
+        cold = select_bandwidth(s.x, s.y, n_bandwidths=6, cache=cache)
+        warm = select_bandwidth(s.x, s.y, n_bandwidths=6, cache=cache)
+        assert warm.bandwidth == cold.bandwidth
+        assert warm.score == cold.score
+        np.testing.assert_array_equal(warm.scores, cold.scores)
+        assert warm.diagnostics["cache"] == "hit"
+        assert "cache" not in cold.diagnostics
+        assert cache.stats.hits_by_kind.get("selection") == 1
+
+    def test_cache_key_distinguishes_backend(self, paper_sample_small):
+        from repro.serving import ArtifactCache
+
+        s = paper_sample_small
+        cache = ArtifactCache(None)
+        select_bandwidth(s.x, s.y, n_bandwidths=6, cache=cache)
+        other = select_bandwidth(
+            s.x, s.y, n_bandwidths=6, cache=cache, backend="python"
+        )
+        assert "cache" not in other.diagnostics
+
+    def test_typed_resilience_config_accepted(self, paper_sample_small):
+        from repro.resilience import ResilienceConfig
+
+        s = paper_sample_small
+        res = select_bandwidth(
+            s.x,
+            s.y,
+            n_bandwidths=5,
+            resilience=ResilienceConfig(fallback=False),
+        )
+        assert res.resilience is not None
+        assert res.bandwidth > 0
+
+
 class TestOptionForwarding:
     def test_explicit_grid_used(self, paper_sample_small):
         s = paper_sample_small

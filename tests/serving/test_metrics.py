@@ -1,0 +1,93 @@
+"""Metrics primitives: counters, gauges, histograms, registry export."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValidationError):
+            Counter("requests").inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.dec(2)
+        g.inc(1)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_summary_percentiles(self):
+        h = Histogram("latency")
+        for v in range(1, 101):
+            h.observe(float(v))
+        stats = h.summary()
+        assert stats["count"] == 100
+        assert stats["sum"] == pytest.approx(5050.0)
+        assert stats["p50"] == pytest.approx(51.0, abs=2)
+        assert stats["p99"] == pytest.approx(100.0, abs=2)
+        assert stats["max"] == 100.0
+
+    def test_empty_summary_is_nan(self):
+        stats = Histogram("latency").summary()
+        assert math.isnan(stats["p50"])
+        assert stats["count"] == 0
+
+    def test_reservoir_is_bounded_but_count_exact(self):
+        h = Histogram("latency", reservoir=16)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000
+        # Percentiles reflect the most recent window only.
+        assert h.quantile(0.0) >= 1000 - 16
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            Histogram("latency").quantile(1.5)
+
+
+class TestRegistry:
+    def test_lazy_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        with pytest.raises(ValidationError):
+            reg.gauge("hits")
+
+    def test_snapshot_mixes_types(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["hits"] == 3.0
+        assert snap["depth"] == 2.0
+        assert snap["lat"]["count"] == 1
+
+    def test_render_text_exposition(self):
+        reg = MetricsRegistry(prefix="repro")
+        reg.counter("hits", "cache hits").inc(2)
+        reg.histogram("lat", "latency").observe(0.25)
+        text = reg.render_text()
+        assert "# HELP repro_hits cache hits" in text
+        assert "repro_hits 2" in text
+        assert "repro_lat_count 1" in text
+        assert "repro_lat_p99 0.25" in text

@@ -1,0 +1,85 @@
+"""ModelRegistry: fit-once-predict-many with provenance and typed errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RegistryError, ValidationError
+from repro.regression import NadarayaWatson
+from repro.serving import ArtifactCache, ModelRegistry
+
+
+@pytest.fixture()
+def sample() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(11)
+    x = rng.uniform(0.0, 1.0, 50)
+    return x, 0.5 * x + 10.0 * x**2 + rng.normal(0.0, 0.1, 50)
+
+
+def test_fit_registers_model_with_provenance(sample):
+    x, y = sample
+    registry = ModelRegistry()
+    record = registry.fit("m", x, y, n_bandwidths=8)
+    assert record.bandwidth > 0
+    assert record.provenance["method"] == "grid-search"
+    assert record.provenance["cache"] == "miss"
+    assert len(record.provenance["fingerprint"]) == 64
+    assert "m" in registry
+    np.testing.assert_allclose(
+        registry.predict("m", np.array([0.5])),
+        record.model.predict(np.array([0.5])),
+    )
+
+
+def test_refit_same_data_hits_the_cache(sample):
+    x, y = sample
+    registry = ModelRegistry(cache=ArtifactCache(None))
+    cold = registry.fit("a", x, y, n_bandwidths=8)
+    warm = registry.fit("b", x, y, n_bandwidths=8)
+    assert warm.provenance["cache"] == "hit"
+    assert warm.bandwidth == cold.bandwidth
+
+
+def test_duplicate_name_needs_overwrite(sample):
+    x, y = sample
+    registry = ModelRegistry()
+    registry.fit("m", x, y, n_bandwidths=8)
+    with pytest.raises(RegistryError, match="overwrite"):
+        registry.fit("m", x, y, n_bandwidths=8)
+    registry.fit("m", x, y, n_bandwidths=8, overwrite=True)
+
+
+def test_unknown_model_error_lists_registered(sample):
+    x, y = sample
+    registry = ModelRegistry()
+    registry.fit("known", x, y, n_bandwidths=8)
+    with pytest.raises(RegistryError, match="known"):
+        registry.get("missing")
+
+
+def test_register_requires_fitted_model():
+    registry = ModelRegistry()
+    with pytest.raises(ValidationError, match="fitted"):
+        registry.register("raw", NadarayaWatson("epanechnikov", bandwidth=0.2))
+
+
+def test_register_external_model(sample):
+    x, y = sample
+    registry = ModelRegistry()
+    model = NadarayaWatson("epanechnikov", bandwidth=0.3).fit(x, y)
+    record = registry.register("ext", model, provenance={"source": "test"})
+    assert record.bandwidth == 0.3
+    assert registry.describe()[0]["provenance"]["source"] == "test"
+
+
+def test_drop_and_introspection(sample):
+    x, y = sample
+    registry = ModelRegistry()
+    registry.fit("m", x, y, n_bandwidths=8)
+    assert registry.names() == ["m"]
+    assert len(registry) == 1
+    registry.drop("m")
+    assert len(registry) == 0
+    with pytest.raises(RegistryError):
+        registry.drop("m")

@@ -23,6 +23,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["select", "--method", "magic"])
 
+    def test_select_json_flag(self):
+        args = build_parser().parse_args(["select", "--json"])
+        assert args.json is True
+        assert args.cache_dir is None
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8173
+        assert args.max_batch_size == 32
+        assert args.max_wait_ms == 2.0
+        assert args.max_queue == 256
+        assert args.no_model is False
+        assert args.no_resilience is False
+
+    def test_serve_tuning_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--no-model", "--max-batch-size", "4",
+            "--max-wait-ms", "0.5", "--cache-dir", "/tmp/c",
+        ])
+        assert args.port == 0
+        assert args.no_model is True
+        assert args.max_batch_size == 4
+        assert args.cache_dir == "/tmp/c"
+
+    def test_serve_backend_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "cuda"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -47,6 +76,48 @@ class TestCommands:
         assert main(["select", "--n", "150", "--k", "8",
                      "--backend", "gpusim"]) == 0
         assert "gpusim" in capsys.readouterr().out
+
+    def test_select_json_output(self, capsys):
+        import json
+
+        assert main(["select", "--n", "120", "--k", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "grid-search"
+        assert payload["bandwidth"] > 0
+        assert len(payload["scores"]) == payload["n_evaluations"]
+        assert payload["resilience"] is None
+        assert payload["scale_factor"] > 0
+
+    def test_select_json_includes_resilience_report(self, capsys):
+        import json
+
+        assert main([
+            "select", "--n", "120", "--k", "6", "--json", "--resilient",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resilience"] is not None
+        assert payload["resilience"]["backend_used"] == "numpy"
+
+    def test_select_cache_dir_warm_rerun(self, tmp_path, capsys):
+        import json
+
+        argv = [
+            "select", "--n", "120", "--k", "6", "--json",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["bandwidth"] == cold["bandwidth"]
+        assert warm["scores"] == cold["scores"]
+        assert warm["diagnostics"].get("cache") == "hit"
+
+    def test_info_lists_serving_cache(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "serving cache" in out
+        assert "memory budget" in out
 
     def test_table1_tiny(self, capsys):
         code = main([
