@@ -84,6 +84,19 @@ class LintConfig:
         "numpy.column_stack",
     )
 
+    # -- OBS001: tracing calls that may not sit inside a hot loop ---------
+    #: Terminal names of the ``repro.obs`` recording primitives.  A call
+    #: whose last dotted segment matches (``tracer.span``,
+    #: ``current_tracer``, ``t.counter``…) inside a For/While of a
+    #: hot-path module is a per-iteration clock read + ring-buffer append.
+    tracing_call_names: tuple[str, ...] = (
+        "span",
+        "counter",
+        "record_max",
+        "current_tracer",
+        "use_tracer",
+    )
+
     # -- NUM002: the validation funnel ------------------------------------
     #: Terminal names of the helpers in ``repro.utils.validation`` /
     #: ``repro.multivariate.validation`` that count as validating.

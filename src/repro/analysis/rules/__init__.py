@@ -7,6 +7,7 @@ from repro.analysis.rules.api import ValidationFunnelRule
 from repro.analysis.rules.gpu import DeviceDeterminismRule
 from repro.analysis.rules.hotpath import LoopAllocationRule
 from repro.analysis.rules.numeric import ExplicitDtypeRule, FloatEqualityRule
+from repro.analysis.rules.obs import LoopTracingRule
 from repro.analysis.rules.parallel import PicklableWorkUnitRule
 from repro.analysis.rules.robustness import BroadExceptRule
 from repro.analysis.rules.serving import AsyncBlockingCallRule
@@ -19,6 +20,7 @@ __all__ = [
     "FloatEqualityRule",
     "ValidationFunnelRule",
     "LoopAllocationRule",
+    "LoopTracingRule",
     "ExplicitDtypeRule",
     "PicklableWorkUnitRule",
     "DeviceDeterminismRule",

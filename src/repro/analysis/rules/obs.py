@@ -1,0 +1,56 @@
+"""Observability hygiene: OBS001 (no tracing calls in hot per-row loops)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = ["LoopTracingRule"]
+
+
+@register_rule
+class LoopTracingRule(Rule):
+    """OBS001 — no tracing calls inside loops of hot-path modules.
+
+    Every span open/close allocates a handle, reads the monotonic clock
+    twice and appends to the ring buffer.  At function scope that is
+    nanoseconds against an O(n²) sweep; inside the per-chunk or
+    per-observation loop it multiplies by the iteration count and — worse
+    — shows up even when tracing is *enabled*, skewing exactly the
+    measurement the span exists to make.  Open the span around the loop,
+    or accumulate locally and emit one counter after it.
+    """
+
+    rule_id = "OBS001"
+    summary = "tracing call inside a loop of a hot-path module"
+    rationale = (
+        "Span and counter calls in the O(n²) sweep loops add per-iteration "
+        "clock reads and ring-buffer appends, distorting the very phases "
+        "being measured; trace around the loop, not inside it."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(ctx.config.hot_path_modules)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        tracing = frozenset(ctx.config.tracing_call_names)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name is None or name.rpartition(".")[2] not in tracing:
+                continue
+            loop = ctx.enclosing_loop(node)
+            if loop is None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{name.rpartition('.')[2]}() records tracing data inside "
+                f"the loop at line {loop.lineno}; hoist the span/counter "
+                "out of the hot path",
+            )

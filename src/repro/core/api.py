@@ -25,6 +25,7 @@ from repro.core.selectors import (
     NumericalOptimizationSelector,
     RuleOfThumbSelector,
 )
+from repro.obs.tracer import TracerLike, coerce_tracer, current_tracer, use_tracer
 from repro.utils.validation import check_paired_samples
 
 if TYPE_CHECKING:  # deferred: serving/resilience import the core back
@@ -94,6 +95,7 @@ def select_bandwidth(
     cache: "ArtifactCache | None" = None,
     resilience: "ResilienceConfig | bool | None" = None,
     resume: str | Path | None = None,
+    trace: "bool | TracerLike | None" = None,
     **options: Any,
 ) -> SelectionResult:
     """Select the LOO-CV-optimal bandwidth for a kernel regression of y on x.
@@ -132,6 +134,16 @@ def select_bandwidth(
         Checkpoint path (grid method only): completed row blocks are
         persisted there and a re-run with the same path resumes instead
         of recomputing them.  Implies ``resilience=True``.
+    trace:
+        ``True`` to record a hierarchical trace of this selection into a
+        fresh :class:`~repro.obs.Tracer` and attach its JSON-ready
+        snapshot as ``diagnostics["trace"]``; or pass a
+        :class:`~repro.obs.Tracer` you hold (for the exporters in
+        :mod:`repro.obs`); ``False`` forces tracing off even under an
+        ambient tracer; ``None`` (default) inherits the ambient tracer
+        installed by :func:`repro.obs.use_tracer` (no-op when none is).
+        Tracing never changes results: curves are bit-for-bit identical
+        with tracing on and off.
     options:
         Forwarded to the selector constructor (``refine_rounds``,
         ``workers``, ``n_restarts``, ``dtype``, ...).
@@ -163,6 +175,8 @@ def select_bandwidth(
             "resume= (checkpointing) is only supported by the grid method"
         )
 
+    tracer: TracerLike = current_tracer() if trace is None else coerce_tracer(trace)
+
     cache_key: str | None = None
     if cache is not None:
         cache_key = _selection_cache_key(
@@ -175,34 +189,62 @@ def select_bandwidth(
             backend=backend,
             options=options,
         )
-        warm = cache.get_selection(cache_key)
-        if warm is not None:
-            return warm
 
-    selector: Any
-    if canonical == "grid":
-        selector = GridSearchSelector(
-            kernel,
-            n_bandwidths=n_bandwidths,
-            grid=grid,
-            backend=backend,
-            cache=cache,
-            resilience=resilience,
-            resume=resume,
-            **options,
-        )
-    elif canonical == "numeric":
-        selector = NumericalOptimizationSelector(
-            kernel, resilience=resilience, **options
-        )
-    else:
-        if resilience is not None:
-            raise ValidationError(
-                "resilience= is not supported by the rule-of-thumb method "
-                "(it has no failure modes to guard)"
+    with use_tracer(tracer):
+        with tracer.span(
+            "select_bandwidth",
+            method=canonical,
+            kernel=kernel,
+            backend=backend if canonical == "grid" else canonical,
+            n=int(x.shape[0]),
+        ) as root:
+            warm = (
+                cache.get_selection(cache_key)
+                if cache is not None and cache_key is not None
+                else None
             )
-        selector = RuleOfThumbSelector(kernel, **options)
-    result = selector.select(x, y)
-    if cache is not None and cache_key is not None:
-        cache.put_selection(cache_key, result)
+            if warm is not None:
+                tracer.counter("selection_cache.hit")
+                root.set(cache="hit", h_opt=warm.bandwidth)
+                warm.diagnostics["fingerprint"] = cache_key
+                result = warm
+            else:
+                if cache is not None:
+                    tracer.counter("selection_cache.miss")
+                selector: Any
+                if canonical == "grid":
+                    selector = GridSearchSelector(
+                        kernel,
+                        n_bandwidths=n_bandwidths,
+                        grid=grid,
+                        backend=backend,
+                        cache=cache,
+                        resilience=resilience,
+                        resume=resume,
+                        **options,
+                    )
+                elif canonical == "numeric":
+                    selector = NumericalOptimizationSelector(
+                        kernel, resilience=resilience, **options
+                    )
+                else:
+                    if resilience is not None:
+                        raise ValidationError(
+                            "resilience= is not supported by the rule-of-thumb "
+                            "method (it has no failure modes to guard)"
+                        )
+                    selector = RuleOfThumbSelector(kernel, **options)
+                result = selector.select(x, y)
+                if cache_key is not None:
+                    result.diagnostics["fingerprint"] = cache_key
+                if cache is not None and cache_key is not None:
+                    cache.put_selection(cache_key, result)
+                root.set(h_opt=result.bandwidth, backend_used=result.backend)
+                if cache is not None:
+                    root.set(cache="miss")
+
+    # Attach the snapshot after the cache write so stored selections stay
+    # trace-free (a warm hit records its own, much shorter, trace).
+    if tracer.enabled:
+        result.diagnostics["trace"] = tracer.to_payload()
     return result

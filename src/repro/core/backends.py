@@ -33,6 +33,7 @@ from repro.core.fastgrid import (
     fastgrid_block_sums,
 )
 from repro.core.loocv import cv_scores_dense_grid
+from repro.obs.tracer import current_tracer
 from repro.parallel import WorkerPool
 
 __all__ = [
@@ -87,9 +88,14 @@ def _python_backend(
     kernel: str | Kernel = "epanechnikov",
     **_: object,
 ) -> np.ndarray:
-    if _wants_dense(kernel):
-        return cv_scores_dense_grid(x, y, bandwidths, kernel)
-    return cv_scores_fastgrid_python(x, y, bandwidths, kernel)
+    dense = _wants_dense(kernel)
+    with current_tracer().span(
+        "backend:python", n=int(np.asarray(x).shape[0]), k=len(bandwidths),
+        dense=dense,
+    ):
+        if dense:
+            return cv_scores_dense_grid(x, y, bandwidths, kernel)
+        return cv_scores_fastgrid_python(x, y, bandwidths, kernel)
 
 
 def _numpy_backend(
@@ -102,11 +108,18 @@ def _numpy_backend(
     dtype: str = "float64",
     **_: object,
 ) -> np.ndarray:
-    if _wants_dense(kernel):
-        return cv_scores_dense_grid(x, y, bandwidths, kernel, chunk_rows=chunk_rows)
-    return cv_scores_fastgrid(
-        x, y, bandwidths, kernel, chunk_rows=chunk_rows, dtype=dtype
-    )
+    dense = _wants_dense(kernel)
+    with current_tracer().span(
+        "backend:numpy", n=int(np.asarray(x).shape[0]), k=len(bandwidths),
+        dense=dense,
+    ):
+        if dense:
+            return cv_scores_dense_grid(
+                x, y, bandwidths, kernel, chunk_rows=chunk_rows
+            )
+        return cv_scores_fastgrid(
+            x, y, bandwidths, kernel, chunk_rows=chunk_rows, dtype=dtype
+        )
 
 
 def _multicore_backend(
@@ -120,28 +133,37 @@ def _multicore_backend(
     dtype: str = "float64",
     **_: object,
 ) -> np.ndarray:
-    if _wants_dense(kernel):
-        # Dense path parallelises poorly per-h; evaluate serially rather
-        # than silently multiplying the O(k·n²) cost by pool overhead.
-        return cv_scores_dense_grid(x, y, bandwidths, kernel)
-    kern = get_kernel(kernel)
-    grid = np.asarray(bandwidths, dtype=float)
     n = int(np.asarray(x).shape[0])
-    shared = (np.asarray(x, dtype=float), np.asarray(y, dtype=float), grid, kern.name)
-
-    def block_args(start: int, stop: int) -> tuple:
-        return shared + (start, stop, dtype)
-
-    owned = pool is None
-    active = pool or WorkerPool(workers)
-    try:
-        sums = active.sum_over_blocks(
-            fastgrid_block_sums, n, block_args=block_args
+    with current_tracer().span(
+        "backend:multicore", n=n, k=len(bandwidths), dense=_wants_dense(kernel)
+    ) as span:
+        if _wants_dense(kernel):
+            # Dense path parallelises poorly per-h; evaluate serially rather
+            # than silently multiplying the O(k·n²) cost by pool overhead.
+            return cv_scores_dense_grid(x, y, bandwidths, kernel)
+        kern = get_kernel(kernel)
+        grid = np.asarray(bandwidths, dtype=float)
+        shared = (
+            np.asarray(x, dtype=float),
+            np.asarray(y, dtype=float),
+            grid,
+            kern.name,
         )
-    finally:
-        if owned:
-            active.close()
-    return np.asarray(sums, dtype=float) / n
+
+        def block_args(start: int, stop: int) -> tuple:
+            return shared + (start, stop, dtype)
+
+        owned = pool is None
+        active = pool or WorkerPool(workers)
+        span.set(workers=active.workers)
+        try:
+            sums = active.sum_over_blocks(
+                fastgrid_block_sums, n, block_args=block_args
+            )
+        finally:
+            if owned:
+                active.close()
+        return np.asarray(sums, dtype=float) / n
 
 
 register_backend("python", _python_backend)

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.kernels import Kernel, get_kernel
+from repro.obs.tracer import current_tracer
 from repro.utils.chunking import chunk_slices, suggest_chunk_rows
 from repro.utils.validation import check_paired_samples, ensure_bandwidths
 
@@ -91,40 +92,43 @@ def cv_scores_fastgrid_python(
     k = grid.shape[0]
     sq_sums = np.zeros(k, dtype=float)
 
-    for i in range(n):
-        dist = np.abs(x[i] - x)
-        order = np.argsort(dist, kind="stable")
-        d_sorted = dist[order]
-        y_sorted = y[order]
+    with current_tracer().span("fastgrid-python", n=n, k=k, kernel=kern.name):
+        for i in range(n):
+            dist = np.abs(x[i] - x)
+            order = np.argsort(dist, kind="stable")
+            d_sorted = dist[order]
+            y_sorted = y[order]
 
-        # Running window sums per polynomial power, swept once over the
-        # sorted distances while the bandwidth pointer advances.
-        sum_d = {t.power: 0.0 for t in terms}
-        sum_yd = {t.power: 0.0 for t in terms}
-        ptr = 0
-        for j in range(k):
-            cutoff = radius * grid[j]
-            while ptr < n and d_sorted[ptr] <= cutoff:
-                d = float(d_sorted[ptr])
-                yv = float(y_sorted[ptr])
+            # Running window sums per polynomial power, swept once over the
+            # sorted distances while the bandwidth pointer advances.
+            sum_d = {t.power: 0.0 for t in terms}
+            sum_yd = {t.power: 0.0 for t in terms}
+            ptr = 0
+            for j in range(k):
+                cutoff = radius * grid[j]
+                while ptr < n and d_sorted[ptr] <= cutoff:
+                    d = float(d_sorted[ptr])
+                    yv = float(y_sorted[ptr])
+                    for t in terms:
+                        dp = d**t.power if t.power else 1.0
+                        sum_d[t.power] += dp
+                        sum_yd[t.power] += yv * dp
+                    ptr += 1
+                # Combine: exclude self (d = 0 contributes only to power 0).
+                num = 0.0
+                den = 0.0
+                h = float(grid[j])
                 for t in terms:
-                    dp = d**t.power if t.power else 1.0
-                    sum_d[t.power] += dp
-                    sum_yd[t.power] += yv * dp
-                ptr += 1
-            # Combine: exclude self (d = 0 contributes only to power 0).
-            num = 0.0
-            den = 0.0
-            h = float(grid[j])
-            for t in terms:
-                hp = h**t.power if t.power else 1.0
-                s_d = sum_d[t.power] - (1.0 if t.power == 0 else 0.0)
-                s_yd = sum_yd[t.power] - (float(y[i]) if t.power == 0 else 0.0)
-                num += t.coefficient * s_yd / hp
-                den += t.coefficient * s_d / hp
-            if den > 0.0:
-                resid = float(y[i]) - num / den
-                sq_sums[j] += resid * resid
+                    hp = h**t.power if t.power else 1.0
+                    s_d = sum_d[t.power] - (1.0 if t.power == 0 else 0.0)
+                    s_yd = sum_yd[t.power] - (
+                        float(y[i]) if t.power == 0 else 0.0
+                    )
+                    num += t.coefficient * s_yd / hp
+                    den += t.coefficient * s_d / hp
+                if den > 0.0:
+                    resid = float(y[i]) - num / den
+                    sq_sums[j] += resid * resid
     return sq_sums / n
 
 
@@ -151,36 +155,45 @@ def _window_sums_for_block(
     m = x_block.shape[0]
     n = x.shape[0]
     k = grid.shape[0]
-    dist = np.abs(x_block[:, None] - x[None, :]).astype(dtype, copy=False)
-    # First grid index whose window d <= radius*h contains this distance;
-    # k means "outside every window".
-    first_j = np.searchsorted(grid * kern.support_radius, dist.ravel(), side="left")
-    row_offsets = np.repeat(np.arange(m, dtype=np.int64) * (k + 1), n)
-    flat_bins = row_offsets + np.minimum(first_j, k)
+    tracer = current_tracer()
+    # "sort" phase: binning each distance against the sorted grid is the
+    # vectorised counterpart of the paper's per-observation sort.
+    with tracer.span("sort", rows=m):
+        dist = np.abs(x_block[:, None] - x[None, :]).astype(dtype, copy=False)
+        # First grid index whose window d <= radius*h contains this
+        # distance; k means "outside every window".
+        first_j = np.searchsorted(
+            grid * kern.support_radius, dist.ravel(), side="left"
+        )
+        row_offsets = np.repeat(np.arange(m, dtype=np.int64) * (k + 1), n)
+        flat_bins = row_offsets + np.minimum(first_j, k)
 
     num = np.zeros((m, k), dtype=np.float64)
     den = np.zeros((m, k), dtype=np.float64)
     h_cols = grid[None, :]
-    for term in kern.poly_terms:
-        if term.power == 0:
-            d_pow = None  # weight 1 per element
-            yw = np.broadcast_to(y, (m, n)).ravel()
-        else:
-            d_pow = dist**term.power
-            yw = (y[None, :] * d_pow).ravel()
-        hist_d = np.bincount(
-            flat_bins,
-            weights=None if d_pow is None else d_pow.ravel(),
-            minlength=m * (k + 1),
-        ).reshape(m, k + 1)[:, :k]
-        hist_yd = np.bincount(flat_bins, weights=yw, minlength=m * (k + 1)).reshape(
-            m, k + 1
-        )[:, :k]
-        s_d = np.cumsum(hist_d, axis=1)
-        s_yd = np.cumsum(hist_yd, axis=1)
-        scale = term.coefficient / (h_cols**term.power if term.power else 1.0)
-        num += scale * s_yd
-        den += scale * s_d
+    # "sweep" phase: per-power weighted histograms + cumsum along the grid
+    # axis are exactly the sorted sweep's running sums.
+    with tracer.span("sweep", rows=m, terms=len(kern.poly_terms)):
+        for term in kern.poly_terms:
+            if term.power == 0:
+                d_pow = None  # weight 1 per element
+                yw = np.broadcast_to(y, (m, n)).ravel()
+            else:
+                d_pow = dist**term.power
+                yw = (y[None, :] * d_pow).ravel()
+            hist_d = np.bincount(
+                flat_bins,
+                weights=None if d_pow is None else d_pow.ravel(),
+                minlength=m * (k + 1),
+            ).reshape(m, k + 1)[:, :k]
+            hist_yd = np.bincount(
+                flat_bins, weights=yw, minlength=m * (k + 1)
+            ).reshape(m, k + 1)[:, :k]
+            s_d = np.cumsum(hist_d, axis=1)
+            s_yd = np.cumsum(hist_yd, axis=1)
+            scale = term.coefficient / (h_cols**term.power if term.power else 1.0)
+            num += scale * s_yd
+            den += scale * s_d
     return num, den
 
 
@@ -212,20 +225,29 @@ def fastgrid_block_sums(
         )
     x_block = x[start:stop]
     y_block = y[start:stop]
-    num, den = _window_sums_for_block(x_block, x, y, grid, kern, np_dtype)
+    tracer = current_tracer()
+    with tracer.span("block", start=start, stop=stop):
+        num, den = _window_sums_for_block(x_block, x, y, grid, kern, np_dtype)
 
-    # Leave-one-out correction: observation i appears in its own window at
-    # every bandwidth with distance 0, touching only the power-0 term.
-    zero_terms = [t for t in kern.poly_terms if t.power == 0]
-    if zero_terms:
-        c0 = sum(t.coefficient for t in zero_terms)
-        num -= c0 * y_block[:, None]
-        den -= c0
+        # Leave-one-out correction: observation i appears in its own window
+        # at every bandwidth with distance 0, touching only the power-0 term.
+        with tracer.span("reduction", rows=stop - start):
+            zero_terms = [t for t in kern.poly_terms if t.power == 0]
+            if zero_terms:
+                c0 = sum(t.coefficient for t in zero_terms)
+                num -= c0 * y_block[:, None]
+                den -= c0
 
-    valid = den > 0.0
-    g_loo = np.where(valid, num / np.where(valid, den, 1.0), 0.0)
-    resid = np.where(valid, y_block[:, None] - g_loo, 0.0)
-    return np.einsum("ij,ij->j", resid, resid)
+            valid = den > 0.0
+            if tracer.enabled:
+                tracer.counter(
+                    "numeric.empty_windows",
+                    float(num.size - int(np.count_nonzero(valid))),
+                )
+            g_loo = np.where(valid, num / np.where(valid, den, 1.0), 0.0)
+            resid = np.where(valid, y_block[:, None] - g_loo, 0.0)
+            out: np.ndarray = np.einsum("ij,ij->j", resid, resid)
+    return out
 
 
 def cv_scores_fastgrid(
@@ -253,9 +275,35 @@ def cv_scores_fastgrid(
     rows = chunk_rows or suggest_chunk_rows(
         n, working_arrays=4 + len(kern.poly_terms)
     )
+    tracer = current_tracer()
     sq_sums = np.zeros(grid.shape[0], dtype=float)
-    for sl in chunk_slices(n, rows):
-        sq_sums += fastgrid_block_sums(
-            x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
-        )
+    with tracer.span(
+        "fastgrid", n=n, k=grid.shape[0], kernel=kern.name, dtype=dtype,
+        chunk_rows=rows,
+    ):
+        if not tracer.enabled:
+            for sl in chunk_slices(n, rows):
+                sq_sums += fastgrid_block_sums(
+                    x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
+                )
+        else:
+            # Traced path: identical accumulation (``a = a + b`` is the
+            # in-place add, bit for bit) plus a Neumaier compensation term
+            # that *measures* cross-chunk summation drift without touching
+            # the returned values (Langrené & Warin motivate tracking it).
+            comp = np.zeros_like(sq_sums)
+            for sl in chunk_slices(n, rows):
+                block = fastgrid_block_sums(
+                    x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
+                )
+                acc = sq_sums + block
+                comp += np.where(
+                    np.abs(sq_sums) >= np.abs(block),
+                    (sq_sums - acc) + block,
+                    (block - acc) + sq_sums,
+                )
+                sq_sums = acc
+            tracer.record_max(
+                "numeric.kahan_compensation", float(np.max(np.abs(comp)))
+            )
     return sq_sums / n

@@ -35,6 +35,7 @@ from repro.core.backends import get_backend
 from repro.core.grid import BandwidthGrid
 from repro.core.loocv import cv_score, dense_cv_block_stats, loo_estimates
 from repro.core.result import SelectionResult
+from repro.obs.tracer import current_tracer
 from repro.parallel import WorkerPool
 from repro.utils.validation import check_paired_samples, check_positive_int
 
@@ -185,10 +186,13 @@ class GridSearchSelector(BandwidthSelector):
             )
 
         def cached_evaluate(values: np.ndarray, *, first: bool) -> np.ndarray:
+            tracer = current_tracer()
             key = key_for(values, self.backend_name)
             warm = cache.get_curve(key)
             if warm is not None and warm.shape == values.shape:
+                tracer.counter("curve_cache.hit")
                 return warm
+            tracer.counter("curve_cache.miss")
             scores = evaluate(values, first=first)
             used = self.backend_name
             if engine is not None and engine.report.backend_used:
@@ -239,25 +243,36 @@ class GridSearchSelector(BandwidthSelector):
                 )
 
         sweep = self._with_curve_cache(evaluate, x, y, engine)
+        tracer = current_tracer()
         refinements: list[dict[str, float]] = []
-        scores = sweep(grid.values, first=True)
-        best_j = _argmin_with_empty_window_guard(scores)
-        best_h = float(grid.values[best_j])
-        best_score = float(scores[best_j])
-        n_evals = len(grid)
+        with tracer.span(
+            "grid-search",
+            backend=self.backend_name,
+            k=len(grid),
+            kernel=self.kernel.name,
+            refine_rounds=self.refine_rounds,
+        ):
+            with tracer.span("evaluate-grid", round=0, k=len(grid)):
+                scores = sweep(grid.values, first=True)
+            with tracer.span("argmin", k=len(grid)):
+                best_j = _argmin_with_empty_window_guard(scores)
+            best_h = float(grid.values[best_j])
+            best_score = float(scores[best_j])
+            n_evals = len(grid)
 
-        current = grid
-        for round_idx in range(self.refine_rounds):
-            current = current.refine_around(best_h)
-            finer = sweep(current.values, first=False)
-            j = _argmin_with_empty_window_guard(finer)
-            if finer[j] <= best_score:
-                best_h = float(current.values[j])
-                best_score = float(finer[j])
-            n_evals += len(current)
-            refinements.append(
-                {"round": round_idx + 1, "h": best_h, "score": best_score}
-            )
+            current = grid
+            for round_idx in range(self.refine_rounds):
+                current = current.refine_around(best_h)
+                with tracer.span("refine", round=round_idx + 1, k=len(current)):
+                    finer = sweep(current.values, first=False)
+                    j = _argmin_with_empty_window_guard(finer)
+                if finer[j] <= best_score:
+                    best_h = float(current.values[j])
+                    best_score = float(finer[j])
+                n_evals += len(current)
+                refinements.append(
+                    {"round": round_idx + 1, "h": best_h, "score": best_score}
+                )
 
         wall = time.perf_counter() - start
         diagnostics: dict[str, Any] = {"grid_minimum": grid.minimum,
@@ -464,37 +479,51 @@ class NumericalOptimizationSelector(BandwidthSelector):
         best_score = np.inf
         all_converged = True
         restart_results: list[dict[str, float]] = []
+        tracer = current_tracer()
         try:
             if pool is not None:
                 pool.open()
             cv = self._objective(x, y, pool, trace, guard)
             inits = np.exp(rng.uniform(np.log(lo), np.log(hi), size=self.n_restarts))
-            for h0 in inits:
-                if self.opt_method == "brent":
-                    res = optimize.minimize_scalar(
-                        cv,
-                        bounds=(lo, hi),
-                        method="bounded",
-                        options={"maxiter": self.maxiter},
+            with tracer.span(
+                "numerical-optimization",
+                optimizer=self.opt_method,
+                restarts=self.n_restarts,
+                workers=self.workers,
+            ):
+                for restart_idx, h0 in enumerate(inits):
+                    with tracer.span("restart", index=restart_idx, h0=float(h0)):
+                        if self.opt_method == "brent":
+                            res = optimize.minimize_scalar(
+                                cv,
+                                bounds=(lo, hi),
+                                method="bounded",
+                                options={"maxiter": self.maxiter},
+                            )
+                            h_opt = float(res.x)
+                            score = float(res.fun)
+                            ok = bool(res.success)
+                        else:
+                            res = optimize.minimize(
+                                lambda params: cv(float(np.exp(params[0]))),
+                                x0=np.array([np.log(h0)]),
+                                method="Nelder-Mead",
+                                options={
+                                    "maxiter": self.maxiter,
+                                    "xatol": 1e-4,
+                                    "fatol": 1e-10,
+                                },
+                            )
+                            h_opt = float(np.exp(res.x[0]))
+                            score = float(res.fun)
+                            ok = bool(res.success)
+                    restart_results.append(
+                        {"h0": float(h0), "h": h_opt, "score": score}
                     )
-                    h_opt = float(res.x)
-                    score = float(res.fun)
-                    ok = bool(res.success)
-                else:
-                    res = optimize.minimize(
-                        lambda params: cv(float(np.exp(params[0]))),
-                        x0=np.array([np.log(h0)]),
-                        method="Nelder-Mead",
-                        options={"maxiter": self.maxiter, "xatol": 1e-4, "fatol": 1e-10},
-                    )
-                    h_opt = float(np.exp(res.x[0]))
-                    score = float(res.fun)
-                    ok = bool(res.success)
-                restart_results.append({"h0": float(h0), "h": h_opt, "score": score})
-                all_converged = all_converged and ok
-                if score < best_score:
-                    best_score = score
-                    best_h = h_opt
+                    all_converged = all_converged and ok
+                    if score < best_score:
+                        best_score = score
+                        best_h = h_opt
         finally:
             if pool is not None:
                 pool.close()
@@ -577,8 +606,9 @@ class RuleOfThumbSelector(BandwidthSelector):
     def select(self, x: np.ndarray, y: np.ndarray) -> SelectionResult:
         x, y = check_paired_samples(x, y)
         start = time.perf_counter()
-        h = rule_of_thumb_bandwidth(x, self.kernel, constant=self.constant)
-        score = cv_score(x, y, h, self.kernel)
+        with current_tracer().span("rule-of-thumb", kernel=self.kernel.name):
+            h = rule_of_thumb_bandwidth(x, self.kernel, constant=self.constant)
+            score = cv_score(x, y, h, self.kernel)
         wall = time.perf_counter() - start
         return SelectionResult(
             bandwidth=h,

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.core.backends import BACKEND_REGISTRY, register_backend
 from repro.cuda_port.host import CudaBandwidthProgram, CudaProgramResult
+from repro.obs.tracer import current_tracer
 from repro.cuda_port.main_kernel import bandwidth_main_kernel
 from repro.cuda_port.multi_gpu import (
     MultiGpuBandwidthProgram,
@@ -47,13 +48,18 @@ def _gpusim_tiled_backend(
     **_: object,
 ) -> np.ndarray:
     """Grid backend running the out-of-core tiled program (no n×n ceiling)."""
-    program = TiledCudaBandwidthProgram(
-        device=device,
-        kernel=kernel,
-        threads_per_block=threads_per_block,
-        tile_rows=tile_rows,
-    )
-    return program.run(x, y, bandwidths).scores
+    with current_tracer().span(
+        "backend:gpusim-tiled",
+        n=int(np.asarray(x).shape[0]),
+        k=len(bandwidths),
+    ):
+        program = TiledCudaBandwidthProgram(
+            device=device,
+            kernel=kernel,
+            threads_per_block=threads_per_block,
+            tile_rows=tile_rows,
+        )
+        return program.run(x, y, bandwidths).scores
 
 
 def _gpusim_backend(
@@ -68,13 +74,19 @@ def _gpusim_backend(
     **_: object,
 ) -> np.ndarray:
     """Grid backend running the CUDA program on the simulator."""
-    program = CudaBandwidthProgram(
-        device=device,
-        kernel=kernel,
+    with current_tracer().span(
+        "backend:gpusim",
+        n=int(np.asarray(x).shape[0]),
+        k=len(bandwidths),
         mode=mode,
-        threads_per_block=threads_per_block,
-    )
-    return program.run(x, y, bandwidths).scores
+    ):
+        program = CudaBandwidthProgram(
+            device=device,
+            kernel=kernel,
+            mode=mode,
+            threads_per_block=threads_per_block,
+        )
+        return program.run(x, y, bandwidths).scores
 
 
 if "gpusim" not in BACKEND_REGISTRY:

@@ -43,6 +43,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.kernels import Kernel
 from repro.core.fastgrid import fastgrid_block_sums, require_fast_grid_kernel
+from repro.obs.tracer import current_tracer
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.kernel import LaunchStats, launch_kernel
 from repro.gpusim.memory import ConstantMemory, GlobalMemory
@@ -122,40 +123,48 @@ class CudaBandwidthProgram:
         coeffs = tuple(t.coefficient for t in self.kernel.poly_terms)
         P = len(powers)
 
+        tracer = current_tracer()
         start = time.perf_counter()  # repro-lint: disable=GPU001 - host wall clock
-        constant = ConstantMemory(self.device)
-        constant.store(bw32)  # enforces the 2,048-bandwidth cap
+        with tracer.span(
+            "cuda-program", mode=mode, device=self.device.name, n=n, k=k
+        ):
+            constant = ConstantMemory(self.device)
+            constant.store(bw32)  # enforces the 2,048-bandwidth cap
 
-        gmem = GlobalMemory(self.device)
-        stats: list[LaunchStats] = []
-        try:
-            d_x = gmem.malloc(n, np.float32, label="x")
-            d_y = gmem.malloc(n, np.float32, label="y")
-            d_scores = gmem.malloc(k, np.float32, label="cv-scores")
-            d_x.copy_from_host(x32)
-            d_y.copy_from_host(y32)
+            gmem = GlobalMemory(self.device)
+            stats: list[LaunchStats] = []
+            try:
+                with tracer.span("upload", n=n, k=k):
+                    d_x = gmem.malloc(n, np.float32, label="x")
+                    d_y = gmem.malloc(n, np.float32, label="y")
+                    d_scores = gmem.malloc(k, np.float32, label="cv-scores")
+                    d_x.copy_from_host(x32)
+                    d_y.copy_from_host(y32)
 
-            if mode == "functional":
-                scores32 = self._run_functional(
-                    gmem, constant, d_x, d_y, d_scores, n, k, P, powers, coeffs, stats
-                )
-            else:
-                scores32 = self._run_fast(
-                    gmem, constant, x32, y32, d_scores, n, k, P, stats
-                )
+                with tracer.span("main-kernel", mode=mode):
+                    if mode == "functional":
+                        scores32 = self._run_functional(
+                            gmem, constant, d_x, d_y, d_scores, n, k, P,
+                            powers, coeffs, stats,
+                        )
+                    else:
+                        scores32 = self._run_fast(
+                            gmem, constant, x32, y32, d_scores, n, k, P, stats
+                        )
 
-            # Final argmin reduction (always executed on the simulator —
-            # k <= 2,048, so it is cheap even at full size).
-            _, best_h, argmin_stats = device_argmin(
-                scores32,
-                constant.read(),
-                device=self.device,
-                block_dim=self.threads_per_block,
-            )
-            stats.append(argmin_stats)
-            memory_report = gmem.report()
-        finally:
-            gmem.free_all()
+                # Final argmin reduction (always executed on the simulator —
+                # k <= 2,048, so it is cheap even at full size).
+                with tracer.span("device-argmin", k=k):
+                    _, best_h, argmin_stats = device_argmin(
+                        scores32,
+                        constant.read(),
+                        device=self.device,
+                        block_dim=self.threads_per_block,
+                    )
+                stats.append(argmin_stats)
+                memory_report = gmem.report()
+            finally:
+                gmem.free_all()
 
         wall = time.perf_counter() - start  # repro-lint: disable=GPU001 - host wall clock
         scores = scores32.astype(np.float64) / n  # CV_lc normalisation

@@ -30,6 +30,7 @@ from repro.exceptions import ValidationError
 from repro.kernels import Kernel
 from repro.core.fastgrid import fastgrid_block_sums, require_fast_grid_kernel
 from repro.cuda_port.host import CudaProgramResult
+from repro.obs.tracer import current_tracer
 from repro.cuda_port.timing_model import estimate_program_runtime
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.kernel import LaunchStats
@@ -138,54 +139,64 @@ class TiledCudaBandwidthProgram:
         y32 = y64.astype(np.float32)
         P = len(self.kernel.poly_terms)
 
+        tracer = current_tracer()
         start = time.perf_counter()  # repro-lint: disable=GPU001 - host wall clock
-        constant = ConstantMemory(self.device)
-        constant.store(grid.astype(np.float32))
+        with tracer.span(
+            "cuda-program-tiled", device=self.device.name, n=n, k=k, tile_rows=t
+        ):
+            constant = ConstantMemory(self.device)
+            constant.store(grid.astype(np.float32))
 
-        gmem = GlobalMemory(self.device)
-        stats: list[LaunchStats] = []
-        try:
-            d_x = gmem.malloc(n, np.float32, label="x")
-            d_y = gmem.malloc(n, np.float32, label="y")
-            d_scores = gmem.malloc(k, np.float32, label="cv-scores")
-            d_x.copy_from_host(x32)
-            d_y.copy_from_host(y32)
+            gmem = GlobalMemory(self.device)
+            stats: list[LaunchStats] = []
+            try:
+                with tracer.span("upload", n=n, k=k):
+                    d_x = gmem.malloc(n, np.float32, label="x")
+                    d_y = gmem.malloc(n, np.float32, label="y")
+                    d_scores = gmem.malloc(k, np.float32, label="cv-scores")
+                    d_x.copy_from_host(x32)
+                    d_y.copy_from_host(y32)
 
-            # Persistent tile buffers — THE difference from §IV-A: t×n
-            # instead of n×n (account-only; the executor streams them).
-            gmem.reserve((t, n), np.float32, label="absdiff-tile")
-            gmem.reserve((t, n), np.float32, label="y-tile")
-            for p in range(P):
-                gmem.reserve((t, k), np.float32, label=f"sum-d^p[{p}]")
-                gmem.reserve((t, k), np.float32, label=f"sum-yd^p[{p}]")
-            gmem.reserve((k, t), np.float32, label="sq-residuals-tile")
+                    # Persistent tile buffers — THE difference from §IV-A:
+                    # t×n instead of n×n (account-only; executor streams).
+                    gmem.reserve((t, n), np.float32, label="absdiff-tile")
+                    gmem.reserve((t, n), np.float32, label="y-tile")
+                    for p in range(P):
+                        gmem.reserve((t, k), np.float32, label=f"sum-d^p[{p}]")
+                        gmem.reserve(
+                            (t, k), np.float32, label=f"sum-yd^p[{p}]"
+                        )
+                    gmem.reserve((k, t), np.float32, label="sq-residuals-tile")
 
-            grid64 = constant.read().astype(np.float64)
-            x_as64 = x32.astype(np.float64)
-            y_as64 = y32.astype(np.float64)
-            sums = np.zeros(k, dtype=np.float64)
-            tile_index = 0
-            for lo in range(0, n, t):
-                hi = min(lo + t, n)
-                sums += fastgrid_block_sums(
-                    x_as64, y_as64, grid64, self.kernel.name, lo, hi, "float32"
-                )
-                tile_index += 1
-            d_scores.copy_from_host(sums.astype(np.float32))
+                grid64 = constant.read().astype(np.float64)
+                x_as64 = x32.astype(np.float64)
+                y_as64 = y32.astype(np.float64)
+                sums = np.zeros(k, dtype=np.float64)
+                tile_index = 0
+                with tracer.span("main-kernel", tiles=-(-n // t)):
+                    for lo in range(0, n, t):
+                        hi = min(lo + t, n)
+                        sums += fastgrid_block_sums(
+                            x_as64, y_as64, grid64, self.kernel.name, lo, hi,
+                            "float32",
+                        )
+                        tile_index += 1
+                d_scores.copy_from_host(sums.astype(np.float32))
 
-            scores32 = d_scores.copy_to_host()
-            _, _, argmin_stats = device_argmin(
-                scores32,
-                constant.read(),
-                device=self.device,
-                block_dim=self.threads_per_block,
-            )
-            stats.append(argmin_stats)
-            memory_report = gmem.report()
-            memory_report["tiles"] = tile_index
-            memory_report["tile_rows"] = t
-        finally:
-            gmem.free_all()
+                scores32 = d_scores.copy_to_host()
+                with tracer.span("device-argmin", k=k):
+                    _, _, argmin_stats = device_argmin(
+                        scores32,
+                        constant.read(),
+                        device=self.device,
+                        block_dim=self.threads_per_block,
+                    )
+                stats.append(argmin_stats)
+                memory_report = gmem.report()
+                memory_report["tiles"] = tile_index
+                memory_report["tile_rows"] = t
+            finally:
+                gmem.free_all()
 
         wall = time.perf_counter() - start  # repro-lint: disable=GPU001 - host wall clock
         scores = scores32.astype(np.float64) / n

@@ -34,10 +34,32 @@ import os
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import PoolStateError, ValidationError
+from repro.obs.tracer import (
+    Tracer,
+    current_tracer,
+    reset_worker_context,
+    use_tracer,
+)
 from repro.parallel.partition import balanced_blocks
 from repro.resilience import faults
 
-__all__ = ["WorkerPool", "available_workers", "parallel_sum"]
+__all__ = ["WorkerPool", "available_workers", "parallel_sum", "traced_work_unit"]
+
+
+def traced_work_unit(func: Callable, *args: Any) -> tuple:
+    """Run ``func(*args)`` under a fresh local tracer; ship spans home.
+
+    The picklable wrapper the pool uses when the *parent* is tracing:
+    the worker records its own span tree (fork-started workers share the
+    parent's ``CLOCK_MONOTONIC`` origin, so timestamps align) and the
+    parent grafts it back with :meth:`repro.obs.Tracer.adopt`.
+
+    Returns ``(result, spans, counters, maxima)``.
+    """
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = func(*args)
+    return result, tracer.export_spans(), tracer.counters(), tracer.maxima()
 
 
 def available_workers(requested: int | None = None) -> int:
@@ -104,7 +126,12 @@ class WorkerPool:
                 "exited — construct a new WorkerPool instead"
             )
         if self._pool is None:
-            self._pool = mp.get_context("fork").Pool(self.workers)
+            # reset_worker_context: forked children inherit the parent's
+            # contextvars; a stale active tracer/span there would record
+            # into a dead copy, so workers start traced-off.
+            self._pool = mp.get_context("fork").Pool(
+                self.workers, initializer=reset_worker_context
+            )
 
     def close(self) -> None:
         """Gracefully retire the pool: finish queued work, join, forget.
@@ -244,7 +271,23 @@ class WorkerPool:
             args_list = [shared_args + (start, stop) for start, stop in blocks]
         else:
             args_list = [block_args(start, stop) for start, stop in blocks]
-        partials = self.starmap(func, args_list)
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Same work units in the same order — the traced wrapper only
+            # ferries each worker's span tree back, so the summation (and
+            # hence the result) is bit-for-bit the untraced one.
+            with tracer.span(
+                "pool.sum_over_blocks", blocks=len(blocks), workers=self.workers
+            ) as parent:
+                wrapped = [(func,) + tuple(args) for args in args_list]
+                outputs = self.starmap(traced_work_unit, wrapped)
+                partials = []
+                for value, spans, counters, maxima in outputs:
+                    partials.append(value)
+                    tracer.adopt(spans, parent_id=parent.span_id)
+                    tracer.merge_counters(counters, maxima)
+        else:
+            partials = self.starmap(func, args_list)
         result = partials[0]
         for part in partials[1:]:
             result = result + part

@@ -55,7 +55,8 @@ from repro.exceptions import (
     error_code,
 )
 from repro.kernels import Kernel, get_kernel
-from repro.parallel.pool import WorkerPool
+from repro.obs.tracer import current_tracer
+from repro.parallel.pool import WorkerPool, traced_work_unit
 from repro.utils.validation import check_paired_samples, ensure_bandwidths
 from repro.resilience import faults
 from repro.resilience.checkpoint import SweepCheckpoint, sweep_fingerprint
@@ -204,32 +205,43 @@ class ResilientEngine:
         if not self.report.backend_requested:
             self.report.backend_requested = backend
         chain = fallback_chain(backend) if self.config.fallback else (backend,)
+        tracer = current_tracer()
 
-        last_exc: BaseException | None = None
-        for position, candidate in enumerate(chain):
-            try:
-                scores = self._run_candidate(
-                    candidate,
-                    x,
-                    y,
-                    grid,
-                    kern,
-                    options,
-                    checkpoint_enabled=checkpoint_enabled,
-                    degraded=position > 0,
-                )
-            except Exception as exc:
-                self.report.record_attempt(
-                    candidate, error_code(exc) or type(exc).__name__
-                )
-                self.report.record_fault(f"backend:{candidate}", exc)
-                if is_degradable(exc) and position < len(chain) - 1:
-                    last_exc = exc
-                    continue
-                raise
-            self.report.record_attempt(candidate, "ok")
-            self.report.backend_used = candidate
-            return scores
+        with tracer.span(
+            "resilient-sweep",
+            backend=backend,
+            fallback=self.config.fallback,
+            chain=len(chain),
+        ):
+            last_exc: BaseException | None = None
+            for position, candidate in enumerate(chain):
+                try:
+                    with tracer.span(
+                        "candidate", backend=candidate, position=position
+                    ):
+                        scores = self._run_candidate(
+                            candidate,
+                            x,
+                            y,
+                            grid,
+                            kern,
+                            options,
+                            checkpoint_enabled=checkpoint_enabled,
+                            degraded=position > 0,
+                        )
+                except Exception as exc:
+                    self.report.record_attempt(
+                        candidate, error_code(exc) or type(exc).__name__
+                    )
+                    self.report.record_fault(f"backend:{candidate}", exc)
+                    if is_degradable(exc) and position < len(chain) - 1:
+                        tracer.counter("resilience.degraded")
+                        last_exc = exc
+                        continue
+                    raise
+                self.report.record_attempt(candidate, "ok")
+                self.report.backend_used = candidate
+                return scores
         raise last_exc if last_exc is not None else AssertionError("empty chain")
 
     # -- candidate dispatch ------------------------------------------------
@@ -380,6 +392,7 @@ class ResilientEngine:
     ) -> dict[int, np.ndarray]:
         """Wave-based block loop: submit pending, collect, retry failures."""
         policy = self.config.policy
+        tracer = current_tracer()
         results: dict[int, np.ndarray] = {}
         pending: list[tuple[int, int]] = []
         for start, stop in blocks:
@@ -388,52 +401,64 @@ class ResilientEngine:
                 self.report.blocks_resumed += 1
             else:
                 pending.append((start, stop))
+        if self.report.blocks_resumed:
+            tracer.counter(
+                "resilience.blocks_resumed", float(self.report.blocks_resumed)
+            )
 
         attempts: dict[int, int] = {start: 0 for start, _ in pending}
+        wave_no = 0
         while pending:
-            wave = [
-                (start, stop, self._submit_block(
-                    candidate, x, y, grid, kern, options, start, stop, dtype, pool
-                ))
-                for start, stop in pending
-            ]
-            failed: list[tuple[int, int]] = []
-            needs_rebuild = False
-            for start, stop, collect in wave:
-                label = f"{candidate}:rows[{start}:{stop})"
-                try:
-                    sums = collect()
-                    sums = faults.corrupt("data.block", sums, label)
-                    if not np.all(np.isfinite(sums)):
-                        raise DataCorruptionError(
-                            f"non-finite partial sums in {label}"
-                        )
-                except Exception as exc:
-                    if not is_retryable(exc):
-                        raise
-                    attempts[start] += 1
-                    self.report.record_fault(label, exc)
-                    self.report.blocks_recomputed += 1
-                    if attempts[start] > policy.max_retries:
-                        raise RetryBudgetExceeded(
-                            f"block {label} failed {attempts[start]} time(s); "
-                            f"last error: {exc}"
-                        ) from exc
-                    needs_rebuild |= error_code(exc) in _POOL_FATAL_CODES
-                    failed.append((start, stop))
-                else:
-                    results[start] = sums
-                    ckpt.record_block(start, sums)
-            if failed:
-                self.report.retries += len(failed)
-                if needs_rebuild and pool is not None:
-                    pool.rebuild()
-                    self.report.pool_rebuilds += 1
-                round_no = max(attempts[start] for start, _ in failed)
-                pause = policy.delay(round_no, self._jitter_rng)
-                if pause > 0.0:
-                    self._sleep(pause)
-            pending = failed
+            with tracer.span(
+                "wave", index=wave_no, backend=candidate, blocks=len(pending)
+            ):
+                wave = [
+                    (start, stop, self._submit_block(
+                        candidate, x, y, grid, kern, options, start, stop,
+                        dtype, pool,
+                    ))
+                    for start, stop in pending
+                ]
+                failed: list[tuple[int, int]] = []
+                needs_rebuild = False
+                for start, stop, collect in wave:
+                    label = f"{candidate}:rows[{start}:{stop})"
+                    try:
+                        sums = collect()
+                        sums = faults.corrupt("data.block", sums, label)
+                        if not np.all(np.isfinite(sums)):
+                            raise DataCorruptionError(
+                                f"non-finite partial sums in {label}"
+                            )
+                    except Exception as exc:
+                        if not is_retryable(exc):
+                            raise
+                        attempts[start] += 1
+                        self.report.record_fault(label, exc)
+                        self.report.blocks_recomputed += 1
+                        if attempts[start] > policy.max_retries:
+                            raise RetryBudgetExceeded(
+                                f"block {label} failed {attempts[start]} "
+                                f"time(s); last error: {exc}"
+                            ) from exc
+                        needs_rebuild |= error_code(exc) in _POOL_FATAL_CODES
+                        failed.append((start, stop))
+                    else:
+                        results[start] = sums
+                        ckpt.record_block(start, sums)
+                if failed:
+                    self.report.retries += len(failed)
+                    tracer.counter("resilience.retries", float(len(failed)))
+                    if needs_rebuild and pool is not None:
+                        pool.rebuild()
+                        self.report.pool_rebuilds += 1
+                        tracer.counter("resilience.pool_rebuilds")
+                    round_no = max(attempts[start] for start, _ in failed)
+                    pause = policy.delay(round_no, self._jitter_rng)
+                    if pause > 0.0:
+                        self._sleep(pause)
+                pending = failed
+            wave_no += 1
         return results
 
     def _submit_block(
@@ -458,18 +483,32 @@ class ResilientEngine:
 
         if candidate == "multicore":
             assert pool is not None
-            future = pool.apply_async(
-                fastgrid_block_sums, (x, y, grid, kern.name, start, stop, dtype)
-            )
+            traced = current_tracer().enabled
+            block_args = (x, y, grid, kern.name, start, stop, dtype)
+            if traced:
+                future = pool.apply_async(
+                    traced_work_unit, (fastgrid_block_sums,) + block_args
+                )
+            else:
+                future = pool.apply_async(fastgrid_block_sums, block_args)
             timeout = self.config.policy.block_timeout
 
             def collect_pool() -> np.ndarray:
-                try:
-                    value = future.get(timeout)
-                except multiprocessing.TimeoutError:
-                    raise BlockTimeoutError(
-                        f"rows[{start}:{stop}) missed its {timeout}s deadline"
-                    ) from None
+                tracer = current_tracer()
+                with tracer.span(
+                    "block-collect", start=start, stop=stop
+                ) as cspan:
+                    try:
+                        value = future.get(timeout)
+                    except multiprocessing.TimeoutError:
+                        raise BlockTimeoutError(
+                            f"rows[{start}:{stop}) missed its {timeout}s "
+                            "deadline"
+                        ) from None
+                    if traced and tracer.enabled:
+                        value, spans, counters, maxima = value
+                        tracer.adopt(spans, parent_id=cspan.span_id)
+                        tracer.merge_counters(counters, maxima)
                 return np.asarray(value, dtype=np.float64)
 
             return collect_pool

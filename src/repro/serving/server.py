@@ -55,6 +55,8 @@ from repro.exceptions import (
     error_code,
 )
 from repro.core.result import SelectionResult
+from repro.obs.export import trace_metrics_lines
+from repro.obs.tracer import NULL_TRACER, Tracer, TracerLike, use_tracer
 from repro.serving.cache import ArtifactCache
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.registry import ModelRegistry
@@ -80,6 +82,10 @@ class ServingConfig:
     )
     #: Run selections on the resilient engine (backend degrade chain).
     resilience: bool = True
+    #: Record per-request spans into the app tracer (surfaced on /metrics).
+    tracing: bool = True
+    #: Ring-buffer capacity of the app tracer.
+    trace_events: int = 8192
     default_backend: str = "numpy"
     default_kernel: str = "epanechnikov"
     default_n_bandwidths: int = 50
@@ -91,6 +97,11 @@ class ServingApp:
     def __init__(self, config: ServingConfig | None = None) -> None:
         self.config = config or ServingConfig()
         self.metrics = MetricsRegistry()
+        self.tracer: TracerLike = (
+            Tracer(max_events=self.config.trace_events)
+            if self.config.tracing
+            else NULL_TRACER
+        )
         self.cache = ArtifactCache(
             self.config.cache_dir,
             max_memory_bytes=self.config.max_memory_bytes,
@@ -156,15 +167,18 @@ class ServingApp:
         for idx, (model_name, _) in enumerate(items):
             groups.setdefault(model_name, []).append(idx)
         out: list[np.ndarray | None] = [None] * len(items)
-        for model_name, indices in groups.items():
-            record = self.registry.get(model_name)
-            points = np.concatenate([items[i][1] for i in indices])
-            estimates = record.model.predict(points)
-            offset = 0
-            for i in indices:
-                m = items[i][1].shape[0]
-                out[i] = estimates[offset : offset + m]
-                offset += m
+        with self.tracer.span(
+            "predict-batch", size=len(items), models=len(groups)
+        ):
+            for model_name, indices in groups.items():
+                record = self.registry.get(model_name)
+                points = np.concatenate([items[i][1] for i in indices])
+                estimates = record.model.predict(points)
+                offset = 0
+                for i in indices:
+                    m = items[i][1].shape[0]
+                    out[i] = estimates[offset : offset + m]
+                    offset += m
         return [est for est in out if est is not None]
 
     def _run_select_batch(
@@ -174,13 +188,15 @@ class ServingApp:
         from repro.core.api import select_bandwidth
 
         results: list[SelectionResult] = []
-        for payload in payloads:
-            kwargs = dict(payload)
-            x = kwargs.pop("x")
-            y = kwargs.pop("y")
-            results.append(
-                select_bandwidth(x, y, cache=self.cache, **kwargs)
-            )
+        with use_tracer(self.tracer):
+            with self.tracer.span("select-batch", size=len(payloads)):
+                for payload in payloads:
+                    kwargs = dict(payload)
+                    x = kwargs.pop("x")
+                    y = kwargs.pop("y")
+                    results.append(
+                        select_bandwidth(x, y, cache=self.cache, **kwargs)
+                    )
         return results
 
     # -- request parsing helpers -------------------------------------------
@@ -228,21 +244,24 @@ class ServingApp:
         loop = asyncio.get_running_loop()
         started = loop.time()
         self._m_http.inc()
-        try:
-            status, payload = await self._route(method, path, body or {})
-        except OverloadError as exc:
-            status, payload = 429, self._error_payload(exc)
-        except RegistryError as exc:
-            status, payload = 404, self._error_payload(exc)
-        except ValidationError as exc:
-            status, payload = 400, self._error_payload(exc)
-        except ReproError as exc:
-            status, payload = 500, self._error_payload(exc)
-        except Exception as exc:  # boundary: every fault becomes a status
-            status, payload = 500, {
-                "error": f"internal error: {type(exc).__name__}: {exc}",
-                "code": "REPRO_SERVING",
-            }
+        with use_tracer(self.tracer):
+            with self.tracer.span("request", method=method, path=path) as span:
+                try:
+                    status, payload = await self._route(method, path, body or {})
+                except OverloadError as exc:
+                    status, payload = 429, self._error_payload(exc)
+                except RegistryError as exc:
+                    status, payload = 404, self._error_payload(exc)
+                except ValidationError as exc:
+                    status, payload = 400, self._error_payload(exc)
+                except ReproError as exc:
+                    status, payload = 500, self._error_payload(exc)
+                except Exception as exc:  # boundary: faults become statuses
+                    status, payload = 500, {
+                        "error": f"internal error: {type(exc).__name__}: {exc}",
+                        "code": "REPRO_SERVING",
+                    }
+                span.set(status=status)
         if status >= 500:
             self._m_http_5xx.inc()
         self._m_latency.observe(loop.time() - started)
@@ -276,8 +295,14 @@ class ServingApp:
         self, body: dict[str, Any]
     ) -> tuple[int, dict[str, Any]]:
         kwargs = self._select_kwargs(body)
-        result = await self._select_scheduler.submit(kwargs)
-        cache_hit = result.diagnostics.get("cache") == "hit"
+        with self.tracer.span("select", n=int(kwargs["x"].shape[0])) as span:
+            result = await self._select_scheduler.submit(kwargs)
+            cache_hit = result.diagnostics.get("cache") == "hit"
+            span.set(
+                cache="hit" if cache_hit else "miss",
+                fingerprint=result.diagnostics.get("fingerprint"),
+                h_opt=result.bandwidth,
+            )
         if cache_hit:
             self._m_select_hits.inc()
         else:
@@ -363,6 +388,8 @@ class ServingApp:
             f"repro_cache_disk_evictions_total {stats.disk_evictions}",
             f"repro_registered_models {len(self.registry)}",
         ]
+        if isinstance(self.tracer, Tracer):
+            lines.extend(trace_metrics_lines(self.tracer))
         return self.metrics.render_text() + "\n".join(lines) + "\n"
 
     @staticmethod

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FLOAT_ATOL", "FLOAT_RTOL", "allclose", "is_zero", "isclose"]
+__all__ = [
+    "FLOAT_ATOL",
+    "FLOAT_RTOL",
+    "allclose",
+    "compensated_sum",
+    "is_zero",
+    "isclose",
+]
 
 #: Absolute tolerance for "is this exactly the same float" questions —
 #: a hair above accumulated rounding in the O(n²) double-precision sums.
@@ -42,3 +49,24 @@ def allclose(
 def is_zero(value: float, *, atol: float = FLOAT_ATOL) -> bool:
     """Whether ``value`` is zero up to absolute tolerance."""
     return bool(abs(value) <= atol)
+
+
+def compensated_sum(values: np.ndarray) -> tuple[float, float]:
+    """Neumaier compensated sum: ``(plain_total, compensation)``.
+
+    Running-sum sweeps accumulate drift that grows with the number of
+    partial sums (Langrené & Warin); the observability layer uses the
+    compensation term as a *measurement* of that drift without changing
+    any returned result — callers keep using the plain total.
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    total = 0.0
+    comp = 0.0
+    for v in flat.tolist():
+        t = total + v
+        if abs(total) >= abs(v):
+            comp += (total - t) + v
+        else:
+            comp += (v - t) + total
+        total = t
+    return total, comp

@@ -9,6 +9,7 @@ selectively, so a bench can report "with" and "without" setup cost.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
@@ -49,6 +50,12 @@ class Stopwatch:
     """
 
     segments: dict[str, float] = field(default_factory=dict)
+    # Concurrent callers (per-block spans fanned out through WorkerPool
+    # collector threads) accumulate into the same segment name; the
+    # read-modify-write below must be atomic or updates are lost.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def segment(self, name: str) -> Iterator[None]:
@@ -58,15 +65,18 @@ class Stopwatch:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self.segments[name] = self.segments.get(name, 0.0) + elapsed
+            with self._lock:
+                self.segments[name] = self.segments.get(name, 0.0) + elapsed
 
     def elapsed(self, name: str) -> float:
         """Seconds accumulated under ``name`` (0.0 if never entered)."""
-        return self.segments.get(name, 0.0)
+        with self._lock:
+            return self.segments.get(name, 0.0)
 
     def total(self, *, exclude: tuple[str, ...] = ()) -> float:
         """Sum of all segments, optionally excluding some by name."""
-        return sum(v for k, v in self.segments.items() if k not in exclude)
+        with self._lock:
+            return sum(v for k, v in self.segments.items() if k not in exclude)
 
 
 def time_callable(

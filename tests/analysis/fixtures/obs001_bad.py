@@ -1,0 +1,13 @@
+# lint-fixture: rel=core/fastgrid.py expect=OBS001
+"""Deliberate violation: a span opened inside the per-chunk loop."""
+
+from repro.obs.tracer import current_tracer
+
+
+def sweep(chunks):
+    total = 0.0
+    tracer = current_tracer()
+    for chunk in chunks:
+        with tracer.span("chunk", rows=len(chunk)):
+            total += sum(chunk)
+    return total

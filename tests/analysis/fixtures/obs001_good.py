@@ -1,0 +1,14 @@
+# lint-fixture: rel=core/fastgrid.py expect=none
+"""Clean counterpart: one span around the loop, one counter after it."""
+
+from repro.obs.tracer import current_tracer
+
+
+def sweep(chunks):
+    total = 0.0
+    tracer = current_tracer()
+    with tracer.span("sweep", chunks=len(chunks)):
+        for chunk in chunks:
+            total += sum(chunk)
+    tracer.counter("sweep.chunks", float(len(chunks)))
+    return total

@@ -1,0 +1,222 @@
+"""Differential harness: every registered backend computes the same sweep.
+
+Three tiers of agreement, each as strong as float semantics allow:
+
+* **bit-for-bit within a dtype family** — numpy vs multicore share the
+  float64 block summation (aligned partitions ⇒ identical addition
+  order), and gpusim (fast mode) vs gpusim-tiled share the float32 one;
+* **allclose across families** — python vs numpy (different accumulation
+  order), float64 vs float32 curves;
+* **identical optimum** — ``select_bandwidth`` lands on the exact same
+  ``h_opt`` through all four vectorised backends.
+
+Every comparison is run with tracing off *and* with an active
+:class:`repro.obs.Tracer`, byte-comparing the two curves: observability
+must never perturb the numbers it observes.
+
+Hypothesis draws randomise n, k, kernel, and the data seed
+(``derandomize=True`` keeps CI deterministic); dedicated cases cover the
+adversarial grids — duplicate-distance ties, bandwidths beyond the data
+range, near-zero bandwidths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.cuda_port  # noqa: F401 - registers gpusim + gpusim-tiled
+from repro.core.api import select_bandwidth
+from repro.core.backends import get_backend
+from repro.core.fastgrid import cv_scores_fastgrid, cv_scores_fastgrid_python
+from repro.obs import Tracer, use_tracer
+from repro.parallel.pool import WorkerPool
+
+FAST_KERNELS = ("epanechnikov", "uniform")
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    with WorkerPool(2) as pool:
+        yield pool
+
+
+def _sample(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1.0, n)
+    y = np.sin(2.0 * np.pi * x) + rng.normal(0.0, 0.3, n)
+    return x, y
+
+
+def _grid(x: np.ndarray, k: int) -> np.ndarray:
+    spread = float(np.max(x) - np.min(x))
+    return np.linspace(0.05 * spread, 0.75 * spread, k)
+
+
+def _traced_and_untraced(fn) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``fn`` once with no tracer and once inside an active Tracer."""
+    plain = fn()
+    with use_tracer(Tracer()):
+        traced = fn()
+    return np.asarray(plain), np.asarray(traced)
+
+
+draws = st.tuples(
+    st.integers(8, 30).map(lambda m: 2 * m),  # even n in [16, 60]
+    st.integers(3, 12),                        # k
+    st.sampled_from(FAST_KERNELS),
+    st.integers(0, 2**16),                     # data seed
+)
+
+
+class TestBitForBitWithinFamilies:
+    """Same-precision backends must agree to the last bit."""
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_numpy_multicore_identical_float64(self, draw, shared_pool):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        numpy_backend = get_backend("numpy")
+        multicore = get_backend("multicore")
+
+        # chunk_rows = n//2 makes the serial chunk partition coincide with
+        # the two-worker block partition, so the float64 sums add in the
+        # same order — agreement is exact, not approximate.
+        a_plain, a_traced = _traced_and_untraced(
+            lambda: numpy_backend(x, y, grid, kernel, chunk_rows=n // 2)
+        )
+        b_plain, b_traced = _traced_and_untraced(
+            lambda: multicore(x, y, grid, kernel, pool=shared_pool)
+        )
+        assert a_plain.tobytes() == a_traced.tobytes()
+        assert b_plain.tobytes() == b_traced.tobytes()
+        assert a_plain.tobytes() == b_plain.tobytes()
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_gpusim_and_tiled_identical_float32(self, draw):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        gpusim = get_backend("gpusim")
+        tiled = get_backend("gpusim-tiled")
+
+        # mode="fast" and tile_rows >= n both reduce to one float32 block
+        # sum over [0, n): the same arithmetic, so the same bits.
+        a_plain, a_traced = _traced_and_untraced(
+            lambda: gpusim(x, y, grid, kernel, mode="fast")
+        )
+        b_plain, b_traced = _traced_and_untraced(
+            lambda: tiled(x, y, grid, kernel, tile_rows=n)
+        )
+        assert a_plain.tobytes() == a_traced.tobytes()
+        assert b_plain.tobytes() == b_traced.tobytes()
+        assert a_plain.tobytes() == b_plain.tobytes()
+
+
+class TestCrossFamilyAgreement:
+    """Different accumulation orders / precisions agree to tolerance."""
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_python_matches_numpy(self, draw):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        ref = cv_scores_fastgrid(x, y, grid, kernel)
+        alt_plain, alt_traced = _traced_and_untraced(
+            lambda: cv_scores_fastgrid_python(x, y, grid, kernel)
+        )
+        assert alt_plain.tobytes() == alt_traced.tobytes()
+        np.testing.assert_allclose(alt_plain, ref, rtol=1e-9)
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_float32_family_tracks_float64_curve(self, draw):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        ref = cv_scores_fastgrid(x, y, grid, kernel)
+        f32 = get_backend("gpusim")(x, y, grid, kernel, mode="fast")
+        np.testing.assert_allclose(f32, ref, rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_all_backends_agree_on_h_opt(self, draw, shared_pool):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        chosen = {}
+        for backend, options in (
+            ("numpy", {}),
+            ("python", {}),
+            ("multicore", {"pool": shared_pool}),
+            ("gpusim", {"mode": "fast"}),
+            ("gpusim-tiled", {}),
+        ):
+            result = select_bandwidth(
+                x, y, backend=backend, n_bandwidths=k, kernel=kernel,
+                **options,
+            )
+            chosen[backend] = result.bandwidth
+        assert len(set(chosen.values())) == 1, chosen
+
+
+class TestAdversarialGrids:
+    """Degenerate inputs where the sweeps could plausibly diverge."""
+
+    def _compare_all(self, x, y, grid, kernel="epanechnikov"):
+        ref = cv_scores_fastgrid(x, y, grid, kernel)
+        alt = cv_scores_fastgrid_python(x, y, grid, kernel)
+        f32 = get_backend("gpusim")(x, y, grid, kernel, mode="fast")
+        finite = np.isfinite(ref)
+        assert (np.isfinite(alt) == finite).all()
+        assert (np.isfinite(f32) == finite).all()
+        np.testing.assert_allclose(alt[finite], ref[finite], rtol=1e-9)
+        np.testing.assert_allclose(
+            f32[finite], ref[finite], rtol=1e-4, atol=1e-6
+        )
+        with use_tracer(Tracer()):
+            traced = cv_scores_fastgrid(x, y, grid, kernel)
+        assert traced.tobytes() == ref.tobytes()
+        return ref
+
+    def test_duplicate_distance_ties(self):
+        # Repeated x values put many observations at distance exactly 0
+        # and equal positive distances — searchsorted tie-breaking
+        # territory for the sorted sweep.
+        x = np.repeat(np.linspace(0.0, 1.0, 8), 4)
+        rng = np.random.default_rng(7)
+        y = x**2 + rng.normal(0.0, 0.1, x.shape[0])
+        grid = np.array([0.1, 0.125, 0.25, 0.5])
+        self._compare_all(x, y, grid)
+
+    def test_bandwidth_larger_than_data_range(self):
+        # Every window spans the whole sample: the sweep degenerates to
+        # the global (leave-one-out) mean for the uniform kernel.
+        x, y = _sample(32, seed=3)
+        spread = float(np.max(x) - np.min(x))
+        grid = np.array([2.0 * spread, 10.0 * spread, 100.0 * spread])
+        self._compare_all(x, y, grid, kernel="uniform")
+
+    def test_near_zero_bandwidth_empty_windows(self):
+        # Bandwidths far below the minimum spacing leave every window
+        # empty after the LOO correction: the guarded CV values must be
+        # non-finite in the same positions for every backend.
+        x = np.linspace(0.0, 1.0, 24)
+        rng = np.random.default_rng(11)
+        y = np.cos(x) + rng.normal(0.0, 0.05, 24)
+        grid = np.array([1e-12, 1e-9, 0.2])
+        ref = self._compare_all(x, y, grid)
+        assert np.isfinite(ref[2])
+
+    def test_empty_window_counter_increments(self):
+        x = np.linspace(0.0, 1.0, 24)
+        y = x.copy()
+        grid = np.array([1e-12, 0.3])
+        tracer = Tracer()
+        with use_tracer(tracer):
+            cv_scores_fastgrid(x, y, grid, "epanechnikov")
+        assert tracer.counters().get("numeric.empty_windows", 0.0) > 0

@@ -1,0 +1,161 @@
+"""Unit tests for the trace exporters (`repro.obs.export`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    render_tree,
+    span_tree,
+    trace_metrics_lines,
+    write_chrome_trace,
+)
+
+from tests.obs.test_tracer import make_clock
+
+
+@pytest.fixture
+def sample_tracer() -> Tracer:
+    tracer = Tracer(clock=make_clock())
+    with tracer.span("select", n=100, backend="numpy"):
+        with tracer.span("sort", rows=100):
+            pass
+        with tracer.span("sweep", rows=100):
+            pass
+    tracer.counter("cache.hits", 2.0)
+    tracer.record_max("numeric.kahan_compensation", 1.5e-13)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure_and_relative_timestamps(self, sample_tracer):
+        doc = chrome_trace(sample_tracer, process_name="unit")
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"dropped_spans": 0}
+        events = doc["traceEvents"]
+        meta = events[0]
+        assert meta["ph"] == "M"
+        assert meta["args"] == {"name": "unit"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["sort", "sweep", "select"]
+        # Microseconds relative to the earliest span: the root started
+        # first, so its ts is 0.
+        root = next(e for e in xs if e["name"] == "select")
+        assert root["ts"] == 0.0
+        assert all(e["ts"] >= 0.0 and e["dur"] > 0.0 for e in xs)
+
+    def test_span_args_carry_attributes_and_links(self, sample_tracer):
+        doc = chrome_trace(sample_tracer)
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert xs["select"]["args"]["n"] == 100
+        assert xs["select"]["args"]["backend"] == "numpy"
+        assert "parent_id" not in xs["select"]["args"]
+        assert xs["sort"]["args"]["parent_id"] == xs["select"]["args"]["span_id"]
+
+    def test_counter_event_merges_counters_and_maxima(self, sample_tracer):
+        doc = chrome_trace(sample_tracer)
+        (counter,) = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counter["args"]["cache.hits"] == 2.0
+        assert counter["args"]["max:numeric.kahan_compensation"] == 1.5e-13
+
+    def test_non_json_attribute_values_stringified(self):
+        tracer = Tracer()
+        with tracer.span("x", obj=object(), flag=True):
+            pass
+        doc = chrome_trace(tracer)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert isinstance(event["args"]["obj"], str)
+        assert event["args"]["flag"] is True
+        json.dumps(doc)  # must be serialisable end to end
+
+    def test_empty_tracer_still_valid(self):
+        doc = chrome_trace(Tracer())
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+
+    def test_write_chrome_trace_round_trips(self, sample_tracer, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", sample_tracer)
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace(sample_tracer)
+
+
+class TestSpanTree:
+    def test_depth_first_with_depths(self, sample_tracer):
+        tree = [(rec.name, depth) for rec, depth in span_tree(sample_tracer)]
+        assert tree == [("select", 0), ("sort", 1), ("sweep", 1)]
+
+    def test_orphans_surface_as_roots(self):
+        tracer = Tracer(max_events=2)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        # max_events=2 evicted the first-completed span (grandchild)?  No:
+        # completion order is grandchild, child, root — the ring keeps the
+        # last two, so grandchild is gone and child's parent (root) stays.
+        names = {rec.name for rec in tracer.spans()}
+        assert names == {"child", "root"}
+        tree = [(rec.name, depth) for rec, depth in span_tree(tracer)]
+        assert ("root", 0) in tree
+        assert ("child", 1) in tree
+
+    def test_missing_parent_becomes_root(self):
+        tracer = Tracer(max_events=1)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        tree = [(rec.name, depth) for rec, depth in span_tree(tracer)]
+        assert tree == [("root", 0)]
+
+
+class TestRenderTree:
+    def test_contains_names_durations_counters(self, sample_tracer):
+        text = render_tree(sample_tracer)
+        assert "select" in text and "  sort" in text
+        assert "ms" in text
+        assert "cache.hits = 2" in text
+        assert "max numeric.kahan_compensation" in text
+
+    def test_attribute_overflow_elided(self):
+        tracer = Tracer()
+        with tracer.span("x", a=1, b=2, c=3, d=4, e=5, f=6):
+            pass
+        assert "+2 more" in render_tree(tracer)
+
+    def test_dropped_note(self):
+        tracer = Tracer(max_events=1)
+        for name in ("a", "b"):
+            with tracer.span(name):
+                pass
+        assert "dropped 1 spans" in render_tree(tracer)
+
+
+class TestMetricsLines:
+    def test_aggregates_per_span_name(self, sample_tracer):
+        lines = trace_metrics_lines(sample_tracer)
+        joined = "\n".join(lines)
+        assert "repro_trace_span_select_seconds_total" in joined
+        assert "repro_trace_span_select_count 1" in joined
+        assert "repro_trace_counter_cache_hits 2" in joined
+        assert "repro_trace_max_numeric_kahan_compensation" in joined
+        assert "repro_trace_spans_dropped 0" in joined
+
+    def test_names_are_exposition_safe(self):
+        tracer = Tracer()
+        with tracer.span("backend:gpusim-tiled"):
+            pass
+        (line, _, _) = trace_metrics_lines(tracer)
+        metric = line.split()[0]
+        assert metric == "repro_trace_span_backend_gpusim_tiled_seconds_total"
+
+    def test_repeated_spans_accumulate(self):
+        tracer = Tracer(clock=make_clock())
+        for _ in range(3):
+            with tracer.span("block"):
+                pass
+        lines = "\n".join(trace_metrics_lines(tracer))
+        assert "repro_trace_span_block_count 3" in lines
+        assert "repro_trace_span_block_seconds_total 3" in lines

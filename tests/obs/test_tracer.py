@@ -1,0 +1,256 @@
+"""Unit tests for the tracing core (`repro.obs.tracer`)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    coerce_tracer,
+    current_tracer,
+    reset_worker_context,
+    use_tracer,
+)
+
+
+def make_clock(step: float = 1.0):
+    """A deterministic monotonic clock advancing ``step`` per call."""
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestSpans:
+    def test_span_records_name_times_and_attributes(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("work", n=10, backend="numpy"):
+            pass
+        (record,) = tracer.spans()
+        assert record.name == "work"
+        assert record.attributes == {"n": 10, "backend": "numpy"}
+        assert record.end > record.start
+        assert record.duration == record.end - record.start
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        by_name = {rec.name: rec for rec in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_set_adds_attributes_midflight(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set(h_opt=0.25, cache="miss")
+        (record,) = tracer.spans()
+        assert record.attributes["h_opt"] == 0.25
+        assert record.attributes["cache"] == "miss"
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (record,) = tracer.spans()
+        assert record.attributes["error"] == "RuntimeError"
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        parents = {r.name: r.parent_id for r in tracer.spans()}
+        assert parents["a"] == root.span_id
+        assert parents["b"] == root.span_id
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = Tracer(max_events=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.spans()] == ["b", "c"]
+        assert tracer.dropped == 1
+
+
+class TestCountersAndMaxima:
+    def test_counter_accumulates(self):
+        tracer = Tracer()
+        tracer.counter("hits")
+        tracer.counter("hits", 2.5)
+        assert tracer.counters()["hits"] == 3.5
+
+    def test_record_max_keeps_maximum(self):
+        tracer = Tracer()
+        tracer.record_max("comp", 1.0)
+        tracer.record_max("comp", 0.5)
+        tracer.record_max("comp", 2.0)
+        assert tracer.maxima()["comp"] == 2.0
+
+    def test_merge_counters(self):
+        tracer = Tracer()
+        tracer.counter("hits", 1.0)
+        tracer.record_max("peak", 1.0)
+        tracer.merge_counters({"hits": 2.0, "new": 3.0}, {"peak": 0.5})
+        assert tracer.counters() == {"hits": 3.0, "new": 3.0}
+        assert tracer.maxima() == {"peak": 1.0}
+
+
+class TestAdoption:
+    def test_adopt_reparents_and_remaps_ids(self):
+        worker = Tracer()
+        with worker.span("block"):
+            with worker.span("sort"):
+                pass
+            with worker.span("sweep"):
+                pass
+        parent = Tracer()
+        with parent.span("pool") as pool_span:
+            parent.adopt(worker.export_spans(), parent_id=pool_span.span_id)
+        by_name = {r.name: r for r in parent.spans()}
+        # Ring-buffer export order is completion order (children first);
+        # adoption must still reconstruct the worker-local hierarchy.
+        assert by_name["block"].parent_id == pool_span.span_id
+        assert by_name["sort"].parent_id == by_name["block"].span_id
+        assert by_name["sweep"].parent_id == by_name["block"].span_id
+        ids = [r.span_id for r in parent.spans()]
+        assert len(set(ids)) == len(ids)
+
+    def test_adopt_without_parent_makes_roots(self):
+        worker = Tracer()
+        with worker.span("lonely"):
+            pass
+        parent = Tracer()
+        parent.adopt(worker.export_spans())
+        (record,) = parent.spans()
+        assert record.parent_id is None
+
+
+class TestContextPropagation:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_use_tracer_sets_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with use_tracer(tracer):
+                raise ValueError("x")
+        assert current_tracer() is NULL_TRACER
+
+    def test_reset_worker_context_clears_inherited_state(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("outer"):
+                reset_worker_context()
+                assert current_tracer() is NULL_TRACER
+                # A fresh worker tracer must not see the inherited span
+                # as a parent.
+                local = Tracer()
+                with local.span("inner"):
+                    pass
+                (rec,) = local.spans()
+                assert rec.parent_id is None
+
+    def test_foreign_active_span_is_not_a_parent(self):
+        outer = Tracer()
+        inner = Tracer()
+        with use_tracer(outer):
+            with outer.span("outer"):
+                with inner.span("mine"):
+                    pass
+        (rec,) = inner.spans()
+        assert rec.parent_id is None
+
+
+class TestNullTracer:
+    def test_all_operations_are_noops(self):
+        tracer = NullTracer()
+        with tracer.span("x", a=1) as span:
+            span.set(b=2)
+        tracer.counter("c")
+        tracer.record_max("m", 1.0)
+        assert tracer.spans() == []
+        assert tracer.counters() == {}
+        assert tracer.maxima() == {}
+        assert tracer.dropped == 0
+        assert not tracer.enabled
+
+
+class TestCoercion:
+    def test_none_and_false_give_null(self):
+        assert coerce_tracer(None) is NULL_TRACER
+        assert coerce_tracer(False) is NULL_TRACER
+
+    def test_true_gives_fresh_tracer(self):
+        tracer = coerce_tracer(True)
+        assert isinstance(tracer, Tracer)
+        assert tracer is not coerce_tracer(True)
+
+    def test_instances_pass_through(self):
+        tracer = Tracer()
+        assert coerce_tracer(tracer) is tracer
+        null = NullTracer()
+        assert coerce_tracer(null) is null
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_tracer("yes")
+
+
+class TestPayload:
+    def test_to_payload_shape(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("work", n=3):
+            tracer.counter("hits")
+        payload = tracer.to_payload()
+        assert set(payload) == {"spans", "counters", "maxima", "dropped"}
+        (span,) = payload["spans"]
+        assert span["name"] == "work"
+        assert span["attributes"] == {"n": 3}
+        assert payload["counters"] == {"hits": 1.0}
+        assert payload["dropped"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_and_counters(self):
+        tracer = Tracer(max_events=100_000)
+        threads_n, reps = 8, 200
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(idx: int) -> None:
+            barrier.wait()
+            for _ in range(reps):
+                with tracer.span(f"t{idx}"):
+                    tracer.counter("ticks")
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(threads_n)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(tracer.spans()) == threads_n * reps
+        assert tracer.counters()["ticks"] == float(threads_n * reps)
+        ids = [r.span_id for r in tracer.spans()]
+        assert len(set(ids)) == len(ids)

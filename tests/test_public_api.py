@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.kde",
     "repro.kernels",
     "repro.multivariate",
+    "repro.obs",
     "repro.parallel",
     "repro.regression",
     "repro.theory",

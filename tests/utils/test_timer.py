@@ -66,3 +66,75 @@ class TestTimingRecord:
     def test_per_call_guards_zero_repetitions(self):
         rec = TimingRecord(label="x", seconds=1.0, repetitions=0)
         assert rec.per_call == 1.0
+
+
+class TestStopwatchConcurrency:
+    def test_hammered_segment_loses_no_updates(self, monkeypatch):
+        """T threads × R entries must accumulate exactly T·R seconds.
+
+        A deterministic per-thread clock makes every ``segment()`` entry
+        measure exactly 1.0 s: each thread sees its own monotonically
+        increasing counter, so start/stop always differ by one.  Without
+        the lock the ``segments[name] = segments.get(name) + elapsed``
+        read-modify-write interleaves and updates vanish; with it the
+        total is exact (sums of 1.0 are exact in binary floats).
+        """
+        import threading
+
+        local = threading.local()
+
+        def flip_clock() -> float:
+            local.t = getattr(local, "t", 0.0) + 1.0
+            return local.t
+
+        monkeypatch.setattr(
+            "repro.utils.timer.time.perf_counter", flip_clock
+        )
+        sw = Stopwatch()
+        threads_n, reps = 8, 200
+        barrier = threading.Barrier(threads_n)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(reps):
+                with sw.segment("shared"):
+                    pass
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert sw.elapsed("shared") == float(threads_n * reps)
+
+    def test_concurrent_distinct_segments(self, monkeypatch):
+        import threading
+
+        local = threading.local()
+
+        def flip_clock() -> float:
+            local.t = getattr(local, "t", 0.0) + 1.0
+            return local.t
+
+        monkeypatch.setattr(
+            "repro.utils.timer.time.perf_counter", flip_clock
+        )
+        sw = Stopwatch()
+        reps = 100
+
+        def hammer(name: str) -> None:
+            for _ in range(reps):
+                with sw.segment(name):
+                    pass
+
+        names = [f"seg-{i}" for i in range(4)]
+        workers = [
+            threading.Thread(target=hammer, args=(name,)) for name in names
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        for name in names:
+            assert sw.elapsed(name) == float(reps)
+        assert sw.total() == float(4 * reps)
