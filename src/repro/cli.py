@@ -108,9 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "gpusim", "gpusim-tiled"],
+        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled"],
     )
     sel.add_argument("--seed", type=int, default=0)
+    sel.add_argument(
+        "--mem-budget",
+        type=str,
+        default=None,
+        metavar="BYTES",
+        help="working-set byte budget for the blocked/blocked-shm "
+        "backends, e.g. '2GB' or '512MiB' (default: $REPRO_MEM_BUDGET, "
+        "then 1GiB)",
+    )
     sel.add_argument(
         "--resilient",
         action="store_true",
@@ -183,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "gpusim", "gpusim-tiled"],
+        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled"],
     )
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
@@ -223,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "gpusim", "gpusim-tiled"],
+        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled"],
     )
     srv.add_argument(
         "--no-model",
@@ -363,6 +372,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
     kwargs = {}
     if method == "grid":
         kwargs.update(n_bandwidths=args.k, backend=args.backend)
+        if args.mem_budget is not None:
+            kwargs["memory_budget"] = args.mem_budget
     wants_resilience = (
         args.resilient
         or args.resume is not None
@@ -490,6 +501,7 @@ def _cmd_info(_: argparse.Namespace) -> int:
     from repro.gpusim import DEVICE_REGISTRY
     from repro.kernels import fast_grid_kernels, list_kernels
     from repro.serving import ArtifactCache, ServingConfig
+    from repro.utils.membudget import MEMORY_BUDGET_ENV, resolve_budget
 
     print("kernels        :", ", ".join(list_kernels()))
     print("fast-grid OK   :", ", ".join(fast_grid_kernels()))
@@ -497,6 +509,19 @@ def _cmd_info(_: argparse.Namespace) -> int:
     print("devices        :", ", ".join(sorted(DEVICE_REGISTRY)))
     print("programs       :", ", ".join(sorted(PROGRAMS)))
     print("DGPs           :", ", ".join(sorted(DGP_REGISTRY)))
+    import os
+
+    budget = resolve_budget()
+    source = (
+        f"${MEMORY_BUDGET_ENV}"
+        if os.environ.get(MEMORY_BUDGET_ENV, "").strip()
+        else "default"
+    )
+    print(
+        "memory budget  :",
+        f"{budget:,} B ({budget / 1024**2:.0f} MiB, {source}) for the "
+        "blocked/blocked-shm sweep",
+    )
     defaults = ServingConfig()
     cache = ArtifactCache(None)
     desc = cache.describe()

@@ -92,6 +92,7 @@ def select_bandwidth(
     n_bandwidths: int = 50,
     grid: BandwidthGrid | None = None,
     backend: str = "numpy",
+    memory_budget: int | float | str | None = None,
     cache: "ArtifactCache | None" = None,
     resilience: "ResilienceConfig | bool | None" = None,
     resume: str | Path | None = None,
@@ -115,7 +116,14 @@ def select_bandwidth(
         Grid configuration (grid method only).
     backend:
         Execution backend for the grid method: ``"numpy"``, ``"python"``,
-        ``"multicore"``, ``"gpusim"``, ``"gpusim-tiled"``.
+        ``"multicore"``, ``"blocked"``, ``"blocked-shm"``, ``"gpusim"``,
+        ``"gpusim-tiled"``.
+    memory_budget:
+        Byte budget for the blockwise out-of-core backends — an int or a
+        string like ``"2GB"``/``"512MiB"``.  ``None`` consults
+        ``$REPRO_MEM_BUDGET`` and then the 1 GiB default (see
+        :mod:`repro.utils.membudget`).  Part of the cache fingerprint,
+        though the CV curve itself is bit-for-bit budget-independent.
     cache:
         An :class:`~repro.serving.cache.ArtifactCache`.  The selection is
         keyed by the SHA-256 fingerprint of ``(x, y, grid, kernel,
@@ -128,8 +136,9 @@ def select_bandwidth(
         ``True`` or a :class:`~repro.resilience.engine.ResilienceConfig`
         to run on the resilient execution engine: transient faults are
         retried, device-level failures degrade down the backend fallback
-        chain (``gpusim → gpusim-tiled → multicore → numpy``), and the
-        result carries a ``.resilience`` report.
+        chain (``gpusim → gpusim-tiled → multicore → blocked → numpy``;
+        ``blocked-shm`` joins at ``blocked``), and the result carries a
+        ``.resilience`` report.
     resume:
         Checkpoint path (grid method only): completed row blocks are
         persisted there and a re-run with the same path resumes instead
@@ -170,6 +179,10 @@ def select_bandwidth(
         known = ", ".join(sorted(set(_METHOD_ALIASES)))
         raise ValidationError(f"unknown method {method!r}; known: {known}")
     x, y = check_paired_samples(x, y)
+    if memory_budget is not None:
+        # Into the option dict before the cache key is computed, so the
+        # fingerprint distinguishes budgeted configurations.
+        options["memory_budget"] = memory_budget
     if canonical != "grid" and resume is not None:
         raise ValidationError(
             "resume= (checkpointing) is only supported by the grid method"

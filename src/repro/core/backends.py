@@ -3,16 +3,21 @@
 A *backend* maps ``(x, y, bandwidth grid, kernel) -> CV scores`` and
 corresponds to one of the paper's execution substrates:
 
-============  =====================================================
-``python``    paper-literal per-observation sorted sweep (the
-              sequential reference; the CUDA thread body)
-``numpy``     vectorised fast grid search — the "Sequential C"
-              analogue (numpy plays the role of compiled C)
-``multicore`` row-parallel fast grid over a process pool
-``gpusim``    the paper's CUDA program executed on the GPU
-              simulator (registered lazily by
-              :mod:`repro.cuda_port` to avoid an import cycle)
-============  =====================================================
+===============  ==================================================
+``python``       paper-literal per-observation sorted sweep (the
+                 sequential reference; the CUDA thread body)
+``numpy``        vectorised fast grid search — the "Sequential C"
+                 analogue (numpy plays the role of compiled C)
+``multicore``    row-parallel fast grid over a process pool
+``blocked``      budget-planned out-of-core blockwise sweep
+                 (:mod:`repro.core.blockwise`) — O(n·B + n·k) peak
+                 memory, bit-identical to ``numpy``
+``blocked-shm``  the blockwise sweep fanned over a shared-memory
+                 worker pool (zero-copy inputs, O(1) per-block IPC)
+``gpusim``       the paper's CUDA program executed on the GPU
+                 simulator (registered lazily by
+                 :mod:`repro.cuda_port` to avoid an import cycle)
+===============  ==================================================
 
 Backends automatically fall back to the dense O(k·n²) evaluation for
 kernels without a polynomial form (Cosine, Gaussian), matching paper
@@ -27,14 +32,16 @@ import numpy as np
 
 from repro.exceptions import BackendError
 from repro.kernels import Kernel, get_kernel
+from repro.core.blockwise import cv_scores_blocked, cv_scores_blocked_shm
 from repro.core.fastgrid import (
     cv_scores_fastgrid,
     cv_scores_fastgrid_python,
-    fastgrid_block_sums,
+    fastgrid_row_contributions,
 )
 from repro.core.loocv import cv_scores_dense_grid
 from repro.obs.tracer import current_tracer
 from repro.parallel import WorkerPool
+from repro.utils.numeric import fold_rows
 
 __all__ = [
     "GridBackend",
@@ -157,15 +164,75 @@ def _multicore_backend(
         active = pool or WorkerPool(workers)
         span.set(workers=active.workers)
         try:
-            sums = active.sum_over_blocks(
-                fastgrid_block_sums, n, block_args=block_args
+            # Ordered per-worker row matrices folded in global row order:
+            # the canonical strict fold makes the curve bit-identical to
+            # the serial numpy backend at every worker count.
+            partials = active.map_over_blocks(
+                fastgrid_row_contributions, n, block_args=block_args
             )
         finally:
             if owned:
                 active.close()
-        return np.asarray(sums, dtype=float) / n
+        sums = np.zeros(len(grid), dtype=np.float64)
+        for part in partials:
+            fold_rows(part, sums)
+        return sums / n
+
+
+def _blocked_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str | Kernel = "epanechnikov",
+    *,
+    memory_budget: int | float | str | None = None,
+    block_rows: int | None = None,
+    dtype: str = "float64",
+    **_: object,
+) -> np.ndarray:
+    dense = _wants_dense(kernel)
+    with current_tracer().span(
+        "backend:blocked", n=int(np.asarray(x).shape[0]), k=len(bandwidths),
+        dense=dense,
+    ):
+        if dense:
+            # Dense kernels have no rolling-sum form; the dense evaluator
+            # already chunks its row slabs, so just bound the chunk size.
+            return cv_scores_dense_grid(x, y, bandwidths, kernel)
+        return cv_scores_blocked(
+            x, y, bandwidths, get_kernel(kernel).name,
+            memory_budget=memory_budget, block_rows=block_rows, dtype=dtype,
+        )
+
+
+def _blocked_shm_backend(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str | Kernel = "epanechnikov",
+    *,
+    memory_budget: int | float | str | None = None,
+    block_rows: int | None = None,
+    workers: int | None = None,
+    dtype: str = "float64",
+    **_: object,
+) -> np.ndarray:
+    dense = _wants_dense(kernel)
+    with current_tracer().span(
+        "backend:blocked-shm", n=int(np.asarray(x).shape[0]),
+        k=len(bandwidths), dense=dense,
+    ):
+        if dense:
+            return cv_scores_dense_grid(x, y, bandwidths, kernel)
+        return cv_scores_blocked_shm(
+            x, y, bandwidths, get_kernel(kernel).name,
+            memory_budget=memory_budget, block_rows=block_rows,
+            workers=workers, dtype=dtype,
+        )
 
 
 register_backend("python", _python_backend)
 register_backend("numpy", _numpy_backend)
 register_backend("multicore", _multicore_backend)
+register_backend("blocked", _blocked_backend)
+register_backend("blocked-shm", _blocked_shm_backend)

@@ -40,12 +40,14 @@ from repro.exceptions import ValidationError
 from repro.kernels import Kernel, get_kernel
 from repro.obs.tracer import current_tracer
 from repro.utils.chunking import chunk_slices, suggest_chunk_rows
+from repro.utils.numeric import fold_rows
 from repro.utils.validation import check_paired_samples, ensure_bandwidths
 
 __all__ = [
     "cv_scores_fastgrid",
     "cv_scores_fastgrid_python",
     "fastgrid_block_sums",
+    "fastgrid_row_contributions",
     "require_fast_grid_kernel",
 ]
 
@@ -197,7 +199,7 @@ def _window_sums_for_block(
     return num, den
 
 
-def fastgrid_block_sums(
+def fastgrid_row_contributions(
     x: np.ndarray,
     y: np.ndarray,
     bandwidths: np.ndarray,
@@ -206,13 +208,22 @@ def fastgrid_block_sums(
     stop: int,
     dtype: str = "float64",
 ) -> np.ndarray:
-    """Squared-residual sums over observations ``[start, stop)``.
+    """Per-observation squared-residual k-vectors for rows ``[start, stop)``.
 
-    The unit of work for the multicore backend: top-level (hence
-    picklable) and self-contained, so worker processes can be handed
-    ``(x, y, grid, kernel, row range)`` and return a k-vector that the
-    parent simply adds up.  The full CV score is the sum of these blocks
-    over a partition of ``range(n)``, divided by n.
+    Returns a float64 ``(stop - start, k)`` matrix whose row ``i`` is
+    observation ``start + i``'s contribution to ``n · CV_lc(h)`` at every
+    grid bandwidth.  Each row depends only on its own observation and the
+    *whole* sample — never on which other rows share the block — so the
+    matrix is **partition-invariant**: any batching of ``range(n)``
+    produces the identical bits row by row.  Folding the rows in global
+    index order (:func:`repro.utils.numeric.fold_rows`) therefore yields
+    a CV curve that is bit-for-bit independent of block size, chunk size,
+    and worker count — the invariant the blockwise/shared-memory backends
+    are tested against.
+
+    This is the unit of work for the out-of-core blockwise engine: the
+    block's working set is O(B·n + B·k) while the full sweep never
+    materialises anything n×n.
     """
     kern = require_fast_grid_kernel(kernel_name)
     grid = np.asarray(bandwidths, dtype=float)
@@ -246,8 +257,37 @@ def fastgrid_block_sums(
                 )
             g_loo = np.where(valid, num / np.where(valid, den, 1.0), 0.0)
             resid = np.where(valid, y_block[:, None] - g_loo, 0.0)
-            out: np.ndarray = np.einsum("ij,ij->j", resid, resid)
+            out: np.ndarray = resid * resid
     return out
+
+
+def fastgrid_block_sums(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel_name: str,
+    start: int,
+    stop: int,
+    dtype: str = "float64",
+) -> np.ndarray:
+    """Squared-residual sums over observations ``[start, stop)``.
+
+    The unit of work for the multicore backend and the resilient engine:
+    top-level (hence picklable) and self-contained, so worker processes
+    can be handed ``(x, y, grid, kernel, row range)`` and return a
+    k-vector that the parent simply adds up.  The full CV score is the
+    sum of these blocks over a partition of ``range(n)``, divided by n.
+
+    The within-block reduction is the canonical strict row-order fold, so
+    two partitions whose block boundaries coincide produce identical bits
+    (bit-exactness across *different* partitions needs the row matrices
+    from :func:`fastgrid_row_contributions` folded globally).
+    """
+    return fold_rows(
+        fastgrid_row_contributions(
+            x, y, bandwidths, kernel_name, start, stop, dtype
+        )
+    )
 
 
 def cv_scores_fastgrid(
@@ -267,6 +307,11 @@ def cv_scores_fastgrid(
     the sorted distance array).  Memory is bounded by processing row
     chunks; pass ``dtype="float32"`` to mirror the paper's
     single-precision GPU arithmetic.
+
+    Accumulation is the canonical strict row-order fold carried across
+    chunk boundaries, so the returned curve is bit-for-bit independent of
+    ``chunk_rows`` — and bit-identical to the ``blocked``/``blocked-shm``
+    out-of-core backends at any block size.
     """
     x, y = check_paired_samples(x, y)
     grid = ensure_bandwidths(bandwidths)
@@ -276,33 +321,35 @@ def cv_scores_fastgrid(
         n, working_arrays=4 + len(kern.poly_terms)
     )
     tracer = current_tracer()
-    sq_sums = np.zeros(grid.shape[0], dtype=float)
+    sq_sums = np.zeros(grid.shape[0], dtype=np.float64)
     with tracer.span(
         "fastgrid", n=n, k=grid.shape[0], kernel=kern.name, dtype=dtype,
         chunk_rows=rows,
     ):
         if not tracer.enabled:
             for sl in chunk_slices(n, rows):
-                sq_sums += fastgrid_block_sums(
+                contrib = fastgrid_row_contributions(
                     x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
                 )
+                fold_rows(contrib, sq_sums)
         else:
-            # Traced path: identical accumulation (``a = a + b`` is the
+            # Traced path: the identical fold (``a = a + row`` is the
             # in-place add, bit for bit) plus a Neumaier compensation term
-            # that *measures* cross-chunk summation drift without touching
+            # that *measures* per-row summation drift without touching
             # the returned values (Langrené & Warin motivate tracking it).
             comp = np.zeros_like(sq_sums)
             for sl in chunk_slices(n, rows):
-                block = fastgrid_block_sums(
+                contrib = fastgrid_row_contributions(
                     x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
                 )
-                acc = sq_sums + block
-                comp += np.where(
-                    np.abs(sq_sums) >= np.abs(block),
-                    (sq_sums - acc) + block,
-                    (block - acc) + sq_sums,
-                )
-                sq_sums = acc
+                for row in contrib:
+                    acc = sq_sums + row
+                    comp += np.where(
+                        np.abs(sq_sums) >= np.abs(row),
+                        (sq_sums - acc) + row,
+                        (row - acc) + sq_sums,
+                    )
+                    sq_sums = acc
             tracer.record_max(
                 "numeric.kahan_compensation", float(np.max(np.abs(comp)))
             )

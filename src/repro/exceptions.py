@@ -32,7 +32,9 @@ __all__ = [
     "LaunchConfigurationError",
     "DeviceStateError",
     "KernelExecutionError",
+    "MemoryBudgetError",
     "PoolStateError",
+    "SharedSegmentError",
     "WorkerCrashError",
     "BlockTimeoutError",
     "DataCorruptionError",
@@ -150,6 +152,29 @@ class KernelExecutionError(GpuSimError):
     """A device kernel raised during simulated execution."""
 
     code = "REPRO_KERNEL_EXEC"
+
+
+class MemoryBudgetError(ValidationError):
+    """A host-memory byte budget cannot accommodate the computation.
+
+    Raised by the blockwise planner when the budget is smaller than the
+    fixed working set plus a single row block — no block size B can make
+    the sweep fit, so the configuration (not the data) is at fault.
+    """
+
+    code = "REPRO_MEM_BUDGET"
+
+
+class SharedSegmentError(ReproError):
+    """A shared-memory segment vanished or failed to attach.
+
+    Models an unlinked/evicted POSIX shm segment under a live worker pool
+    (a ``/dev/shm`` purge, an external ``shm_unlink``): the zero-copy
+    substrate is structurally gone, so the engine degrades to the
+    process-local ``blocked`` backend rather than retrying in place.
+    """
+
+    code = "REPRO_SHM_SEGMENT"
 
 
 class PoolStateError(ReproError):

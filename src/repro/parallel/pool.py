@@ -62,6 +62,24 @@ def traced_work_unit(func: Callable, *args: Any) -> tuple:
     return result, tracer.export_spans(), tracer.counters(), tracer.maxima()
 
 
+def _compose_initializer(
+    user_init: Callable[..., None] | None, user_args: tuple
+) -> None:
+    """Worker bootstrap: reset inherited trace state, then user init.
+
+    Top-level (hence picklable) so the pool can re-run it on every fork —
+    including the reforks done by :meth:`WorkerPool.rebuild`, which must
+    re-register the *same* user initializer and initargs (shared-memory
+    workspaces re-attach through exactly this path).
+    """
+    # reset_worker_context: forked children inherit the parent's
+    # contextvars; a stale active tracer/span there would record into a
+    # dead copy, so workers start traced-off.
+    reset_worker_context()
+    if user_init is not None:
+        user_init(*user_args)
+
+
 def available_workers(requested: int | None = None) -> int:
     """Resolve a worker count: explicit request, else CPU count.
 
@@ -88,8 +106,19 @@ class WorkerPool:
     [1, 4, 9]
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ):
         self.workers = available_workers(workers)
+        #: Per-worker bootstrap run on every fork — stored on the pool so
+        #: :meth:`rebuild` re-registers it (and its args) on the fresh
+        #: worker set instead of silently dropping it.
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
         self._pool: mp.pool.Pool | None = None
         self._closed = False
         #: Times the worker set was torn down and reforked (see rebuild()).
@@ -126,11 +155,10 @@ class WorkerPool:
                 "exited — construct a new WorkerPool instead"
             )
         if self._pool is None:
-            # reset_worker_context: forked children inherit the parent's
-            # contextvars; a stale active tracer/span there would record
-            # into a dead copy, so workers start traced-off.
             self._pool = mp.get_context("fork").Pool(
-                self.workers, initializer=reset_worker_context
+                self.workers,
+                initializer=_compose_initializer,
+                initargs=(self.initializer, self.initargs),
             )
 
     def close(self) -> None:
@@ -252,6 +280,41 @@ class WorkerPool:
         ]
         return faults.faulty_call, wrapped
 
+    def _block_partials(
+        self,
+        span_name: str,
+        func: Callable,
+        total: int,
+        shared_args: tuple,
+        block_args: Callable[[int, int], tuple] | None,
+    ) -> list:
+        """Run ``func`` over a balanced row partition; partials in order.
+
+        ``total`` rows are split into one block per worker.  When the
+        parent is tracing, each unit runs under :func:`traced_work_unit`
+        (same work, same order — the wrapper only ferries span trees
+        home, so results are bit-for-bit the untraced ones).
+        """
+        blocks = balanced_blocks(total, self.workers)
+        if block_args is None:
+            args_list = [shared_args + (start, stop) for start, stop in blocks]
+        else:
+            args_list = [block_args(start, stop) for start, stop in blocks]
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self.starmap(func, args_list)
+        with tracer.span(
+            span_name, blocks=len(blocks), workers=self.workers
+        ) as parent:
+            wrapped = [(func,) + tuple(args) for args in args_list]
+            outputs = self.starmap(traced_work_unit, wrapped)
+            partials = []
+            for value, spans, counters, maxima in outputs:
+                partials.append(value)
+                tracer.adopt(spans, parent_id=parent.span_id)
+                tracer.merge_counters(counters, maxima)
+        return partials
+
     def sum_over_blocks(
         self,
         func: Callable,
@@ -262,36 +325,35 @@ class WorkerPool:
     ) -> Any:
         """Sum ``func(*shared_args, start, stop)`` over a row partition.
 
-        ``total`` rows are split into one block per worker.  The default
-        call signature appends ``(start, stop)`` to ``shared_args``;
-        pass ``block_args`` to customise.
+        The default call signature appends ``(start, stop)`` to
+        ``shared_args``; pass ``block_args`` to customise.
         """
-        blocks = balanced_blocks(total, self.workers)
-        if block_args is None:
-            args_list = [shared_args + (start, stop) for start, stop in blocks]
-        else:
-            args_list = [block_args(start, stop) for start, stop in blocks]
-        tracer = current_tracer()
-        if tracer.enabled:
-            # Same work units in the same order — the traced wrapper only
-            # ferries each worker's span tree back, so the summation (and
-            # hence the result) is bit-for-bit the untraced one.
-            with tracer.span(
-                "pool.sum_over_blocks", blocks=len(blocks), workers=self.workers
-            ) as parent:
-                wrapped = [(func,) + tuple(args) for args in args_list]
-                outputs = self.starmap(traced_work_unit, wrapped)
-                partials = []
-                for value, spans, counters, maxima in outputs:
-                    partials.append(value)
-                    tracer.adopt(spans, parent_id=parent.span_id)
-                    tracer.merge_counters(counters, maxima)
-        else:
-            partials = self.starmap(func, args_list)
+        partials = self._block_partials(
+            "pool.sum_over_blocks", func, total, shared_args, block_args
+        )
         result = partials[0]
         for part in partials[1:]:
             result = result + part
         return result
+
+    def map_over_blocks(
+        self,
+        func: Callable,
+        total: int,
+        *,
+        shared_args: tuple = (),
+        block_args: Callable[[int, int], tuple] | None = None,
+    ) -> list:
+        """``func`` over a balanced row partition; partials in block order.
+
+        Unlike :meth:`sum_over_blocks`, the caller owns the reduction —
+        the fast-grid backends need the per-block row matrices back in
+        global row order so they can apply the canonical strict fold
+        (partition-invariant bits) instead of partition-shaped sums.
+        """
+        return self._block_partials(
+            "pool.map_over_blocks", func, total, shared_args, block_args
+        )
 
 
 def parallel_sum(

@@ -5,9 +5,16 @@ backwards: the CUDA program is fastest but dies at the 4 GB wall
 (n > 20,000, ``REPRO_DEVICE_OOM``); the tiled out-of-core variant
 (§V future work, :mod:`repro.cuda_port.tiled`) trades kernel launches for
 an O(t·n) footprint; the multicore program survives any device fault but
-can lose workers; and the sequential fast grid always completes.  So::
+can lose workers; the blockwise out-of-core sweep
+(:mod:`repro.core.blockwise`) bounds host memory by an explicit budget;
+and the sequential fast grid always completes.  So::
 
-    gpusim  →  gpusim-tiled  →  multicore  →  numpy (serial)
+    gpusim  →  gpusim-tiled  →  multicore  →  blocked  →  numpy (serial)
+
+The shared-memory variant sits on its own spur: ``blocked-shm`` degrades
+first to ``blocked`` (same block partials, so the fallback is bit-exact)
+when its POSIX segments vanish (``REPRO_SHM_SEGMENT``), then to the
+serial terminal.
 
 Decisions match on the stable ``REPRO_*`` error *codes* (see
 :mod:`repro.exceptions`), not on class identity, so refactoring the
@@ -44,8 +51,16 @@ DEFAULT_FALLBACK_CHAIN: tuple[str, ...] = (
     "gpusim",
     "gpusim-tiled",
     "multicore",
+    "blocked",
     "numpy",
 )
+
+#: Off-chain entry points that join the default chain mid-way: the
+#: shared-memory sweep falls back to its process-local twin (identical
+#: block partials — a lossless degradation) before the serial terminal.
+_CHAIN_SPURS: dict[str, tuple[str, ...]] = {
+    "blocked-shm": ("blocked-shm", "blocked", "numpy"),
+}
 
 #: Transient faults: retry on the same backend.
 RETRYABLE_CODES = frozenset(
@@ -67,6 +82,7 @@ DEGRADABLE_CODES = frozenset(
         "REPRO_DEVICE_STATE",
         "REPRO_BACKEND",
         "REPRO_POOL_STATE",
+        "REPRO_SHM_SEGMENT",
         "REPRO_RETRY_EXHAUSTED",
     }
 )
@@ -85,10 +101,13 @@ def is_degradable(exc: BaseException) -> bool:
 def fallback_chain(backend: str) -> tuple[str, ...]:
     """The degradation sequence starting from ``backend``.
 
-    A backend on the default chain degrades along its suffix; any other
-    backend (``python``, a user-registered one) falls straight back to the
-    serial terminal, which cannot structurally fail.
+    A backend on the default chain degrades along its suffix; spur
+    backends (``blocked-shm``) join the chain at their own entry; any
+    other backend (``python``, a user-registered one) falls straight back
+    to the serial terminal, which cannot structurally fail.
     """
+    if backend in _CHAIN_SPURS:
+        return _CHAIN_SPURS[backend]
     if backend in DEFAULT_FALLBACK_CHAIN:
         idx = DEFAULT_FALLBACK_CHAIN.index(backend)
         return DEFAULT_FALLBACK_CHAIN[idx:]

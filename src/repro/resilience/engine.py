@@ -27,10 +27,11 @@ property the chaos suite in ``tests/resilience/`` asserts.
 
 Backends fall into two execution shapes:
 
-* **block-sweep** (``numpy``, ``multicore``, ``gpusim-tiled``): the
-  engine owns the row loop; the backend determines how one block is
-  computed (in-process, on the pool, or on the simulated device with
-  tile-buffer residency);
+* **block-sweep** (``numpy``, ``multicore``, ``gpusim-tiled``,
+  ``blocked``, ``blocked-shm``): the engine owns the row loop; the
+  backend determines how one block is computed (in-process, on the pool,
+  on the simulated device with tile-buffer residency, or on a
+  shared-memory pool with budget-planned block sizes);
 * **whole-call** (``gpusim`` monolithic, ``python``, dense kernels,
   user-registered backends): the backend is atomic; retry/degrade wrap
   the entire call and resume is unavailable (the monolithic CUDA program
@@ -83,7 +84,12 @@ __all__ = [
 _POOL_FATAL_CODES = frozenset({"REPRO_WORKER_CRASH", "REPRO_BLOCK_TIMEOUT"})
 
 #: Backends the engine can drive block-by-block (resumable).
-_BLOCK_BACKENDS = frozenset({"numpy", "multicore", "gpusim-tiled"})
+_BLOCK_BACKENDS = frozenset(
+    {"numpy", "multicore", "gpusim-tiled", "blocked", "blocked-shm"}
+)
+
+#: The blockwise family sizes its blocks from the memory-budget planner.
+_BUDGETED_BACKENDS = frozenset({"blocked", "blocked-shm"})
 
 
 def default_block_rows(n: int) -> int:
@@ -331,7 +337,25 @@ class ResilientEngine:
                 "dtype", "float32" if candidate == "gpusim-tiled" else "float64"
             )
         )
-        block_rows = self.config.block_rows or default_block_rows(n)
+        block_rows = self.config.block_rows
+        if block_rows is None and candidate in _BUDGETED_BACKENDS:
+            from repro.core.blockwise import plan_for
+
+            # Budget-planned granularity, capped at the checkpoint default
+            # so a roomy budget never coarsens resumability.  blocked and
+            # blocked-shm share the plan (output_matrix is irrelevant here:
+            # the engine collects k-vector partials, never the row matrix),
+            # which is what makes shm -> blocked degradation bit-exact.
+            plan = plan_for(
+                n,
+                k,
+                kern.name,
+                dtype=dtype,
+                memory_budget=options.get("memory_budget"),
+            )
+            block_rows = min(default_block_rows(n), plan.block_rows)
+        elif block_rows is None:
+            block_rows = default_block_rows(n)
         blocks = [(s, min(s + block_rows, n)) for s in range(0, n, block_rows)]
         self.report.blocks_total += len(blocks)
 
@@ -353,22 +377,47 @@ class ResilientEngine:
 
         pool: WorkerPool | None = None
         owns_pool = False
+        workspace = None
         if candidate == "multicore":
             pool = options.get("pool")
             if pool is None:
                 pool = WorkerPool(options.get("workers"))
                 owns_pool = True
-        try:
-            results = self._sweep_blocks(
-                candidate, x, y, grid, kern, options, blocks, dtype, ckpt, pool
+        elif candidate == "blocked-shm":
+            from repro.parallel import shm as shm_mod
+
+            # An unlinked/purged segment surfaces here as a structural
+            # REPRO_SHM_SEGMENT fault, degrading to the bit-identical
+            # process-local "blocked" candidate.
+            faults.fire("shm.segment", f"workspace[n={n},k={k}]")
+            workspace = shm_mod.ShmWorkspace.create(
+                inputs={"x": x, "y": y, "grid": grid}
             )
-        except BaseException:
-            ckpt.flush()  # persist whatever completed before the failure
+            # The initializer (and its manifest) is stored on the pool, so
+            # a rebuild() after a worker death re-attaches the same
+            # segments in the fresh workers.
+            pool = WorkerPool(
+                options.get("workers"),
+                initializer=shm_mod.attach_workspace,
+                initargs=(workspace.manifest(),),
+            )
+            owns_pool = True
+        try:
+            try:
+                results = self._sweep_blocks(
+                    candidate, x, y, grid, kern, options, blocks, dtype, ckpt,
+                    pool,
+                )
+            except BaseException:
+                ckpt.flush()  # persist whatever completed before the failure
+                if owns_pool and pool is not None:
+                    pool.terminate()
+                raise
             if owns_pool and pool is not None:
-                pool.terminate()
-            raise
-        if owns_pool and pool is not None:
-            pool.close()
+                pool.close()
+        finally:
+            if workspace is not None:
+                workspace.close()
         ckpt.flush()
         total = np.zeros(k, dtype=np.float64)
         for start in sorted(results):
@@ -483,35 +532,23 @@ class ResilientEngine:
 
         if candidate == "multicore":
             assert pool is not None
-            traced = current_tracer().enabled
             block_args = (x, y, grid, kern.name, start, stop, dtype)
-            if traced:
-                future = pool.apply_async(
-                    traced_work_unit, (fastgrid_block_sums,) + block_args
-                )
-            else:
-                future = pool.apply_async(fastgrid_block_sums, block_args)
-            timeout = self.config.policy.block_timeout
+            return self._pool_collector(
+                pool, fastgrid_block_sums, block_args, start, stop
+            )
 
-            def collect_pool() -> np.ndarray:
-                tracer = current_tracer()
-                with tracer.span(
-                    "block-collect", start=start, stop=stop
-                ) as cspan:
-                    try:
-                        value = future.get(timeout)
-                    except multiprocessing.TimeoutError:
-                        raise BlockTimeoutError(
-                            f"rows[{start}:{stop}) missed its {timeout}s "
-                            "deadline"
-                        ) from None
-                    if traced and tracer.enabled:
-                        value, spans, counters, maxima = value
-                        tracer.adopt(spans, parent_id=cspan.span_id)
-                        tracer.merge_counters(counters, maxima)
-                return np.asarray(value, dtype=np.float64)
+        if candidate == "blocked-shm":
+            from repro.core.blockwise import shm_block_sums
 
-            return collect_pool
+            assert pool is not None
+            # Parent-drawn worker-death directive for the shm pool: the
+            # injected crash/timeout is raised inside the child, so retry
+            # and pool-rebuild behave exactly as for a real dead worker.
+            kind = faults.draw("shm.worker", f"rows[{start}:{stop})")
+            block_args = (kern.name, start, stop, dtype)
+            return self._pool_collector(
+                pool, shm_block_sums, block_args, start, stop, fault_kind=kind
+            )
 
         if candidate == "gpusim-tiled":
             return lambda: self._tiled_block(
@@ -522,6 +559,44 @@ class ResilientEngine:
             fastgrid_block_sums(x, y, grid, kern.name, start, stop, dtype),
             dtype=np.float64,
         )
+
+    def _pool_collector(
+        self,
+        pool: WorkerPool,
+        func: Callable[..., Any],
+        block_args: tuple,
+        start: int,
+        stop: int,
+        *,
+        fault_kind: str | None = None,
+    ) -> Callable[[], np.ndarray]:
+        """Submit one block to a pool; return its deadline-ed collector."""
+        traced = current_tracer().enabled
+        unit: Callable[..., Any] = func
+        unit_args: tuple = block_args
+        if traced:
+            unit, unit_args = traced_work_unit, (func,) + block_args
+        if fault_kind is not None:
+            unit, unit_args = faults.faulty_call, (fault_kind, unit) + unit_args
+        future = pool.apply_async(unit, unit_args)
+        timeout = self.config.policy.block_timeout
+
+        def collect_pool() -> np.ndarray:
+            tracer = current_tracer()
+            with tracer.span("block-collect", start=start, stop=stop) as cspan:
+                try:
+                    value = future.get(timeout)
+                except multiprocessing.TimeoutError:
+                    raise BlockTimeoutError(
+                        f"rows[{start}:{stop}) missed its {timeout}s deadline"
+                    ) from None
+                if traced and tracer.enabled:
+                    value, spans, counters, maxima = value
+                    tracer.adopt(spans, parent_id=cspan.span_id)
+                    tracer.merge_counters(counters, maxima)
+            return np.asarray(value, dtype=np.float64)
+
+        return collect_pool
 
     def _tiled_block(
         self,

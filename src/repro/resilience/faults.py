@@ -14,6 +14,11 @@ whether the ``i``-th event at that site fails.  Instrumented sites:
                     (:class:`~repro.exceptions.KernelExecutionError`)
 ``data.block``      a block of partial CV sums (NaN/Inf corruption,
                     applied by :func:`corrupt` in the resilient engine)
+``shm.segment``     a shared-memory workspace attach/create
+                    (:class:`~repro.exceptions.SharedSegmentError` — an
+                    externally unlinked or purged ``/dev/shm`` segment)
+``shm.worker``      a shared-memory pool work unit (crash or timeout,
+                    raised inside the child like ``pool.worker``)
 ==================  =====================================================
 
 Two trigger mechanisms, combinable per spec:
@@ -50,6 +55,7 @@ from repro.exceptions import (
     BlockTimeoutError,
     DeviceMemoryError,
     KernelExecutionError,
+    SharedSegmentError,
     ValidationError,
     WorkerCrashError,
 )
@@ -70,11 +76,18 @@ __all__ = [
 ]
 
 #: Instrumented failure points.
-KNOWN_SITES = ("pool.worker", "gpusim.malloc", "gpusim.launch", "data.block")
+KNOWN_SITES = (
+    "pool.worker",
+    "gpusim.malloc",
+    "gpusim.launch",
+    "data.block",
+    "shm.segment",
+    "shm.worker",
+)
 
 #: Fault kinds and the exception each one raises (``nan``/``inf`` corrupt
 #: data instead of raising; detection is the engine's job).
-KNOWN_KINDS = ("crash", "timeout", "oom", "launch", "nan", "inf")
+KNOWN_KINDS = ("crash", "timeout", "oom", "launch", "unlink", "nan", "inf")
 
 _RAISING_KINDS: dict[str, Callable[[str], Exception]] = {
     "crash": lambda ctx: WorkerCrashError(f"injected worker crash at {ctx}"),
@@ -82,6 +95,9 @@ _RAISING_KINDS: dict[str, Callable[[str], Exception]] = {
     "oom": lambda ctx: DeviceMemoryError(f"injected cudaMalloc failure at {ctx}"),
     "launch": lambda ctx: KernelExecutionError(
         f"injected kernel-launch failure at {ctx}"
+    ),
+    "unlink": lambda ctx: SharedSegmentError(
+        f"injected shared-segment unlink at {ctx}"
     ),
 }
 

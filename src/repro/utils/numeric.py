@@ -16,6 +16,7 @@ __all__ = [
     "FLOAT_RTOL",
     "allclose",
     "compensated_sum",
+    "fold_rows",
     "is_zero",
     "isclose",
 ]
@@ -49,6 +50,31 @@ def allclose(
 def is_zero(value: float, *, atol: float = FLOAT_ATOL) -> bool:
     """Whether ``value`` is zero up to absolute tolerance."""
     return bool(abs(value) <= atol)
+
+
+def fold_rows(
+    rows: np.ndarray, total: np.ndarray | None = None
+) -> np.ndarray:
+    """Strict left-fold of a 2-D array's rows, in index order.
+
+    ``total <- ((total + rows[0]) + rows[1]) + ...`` with one in-place
+    float64 addition per row.  This is the library's *canonical* reduction
+    order for per-observation CV contributions: because each observation's
+    k-vector is computed independently of how rows are batched, folding
+    them in global row order makes the reduced curve **bit-for-bit
+    independent of the partition** — any chunk size, block size, or worker
+    count reproduces the identical result.  (Pairwise reductions such as
+    ``np.sum``/``einsum`` re-associate with shape and would not.)
+
+    Pass ``total`` to continue a fold across batch boundaries; it must be
+    a float64 vector matching ``rows.shape[1]`` and is updated in place.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if total is None:
+        total = np.zeros(rows.shape[-1], dtype=np.float64)
+    for row in rows:
+        np.add(total, row, out=total)
+    return total
 
 
 def compensated_sum(values: np.ndarray) -> tuple[float, float]:

@@ -2,9 +2,11 @@
 
 Three tiers of agreement, each as strong as float semantics allow:
 
-* **bit-for-bit within a dtype family** — numpy vs multicore share the
-  float64 block summation (aligned partitions ⇒ identical addition
-  order), and gpusim (fast mode) vs gpusim-tiled share the float32 one;
+* **bit-for-bit within a dtype family** — numpy, multicore, blocked and
+  blocked-shm all reduce the same per-row float64 contributions in strict
+  row order (partition-independent ⇒ identical addition order at every
+  block size and worker count), and gpusim (fast mode) vs gpusim-tiled
+  share the float32 sum;
 * **allclose across families** — python vs numpy (different accumulation
   order), float64 vs float32 curves;
 * **identical optimum** — ``select_bandwidth`` lands on the exact same
@@ -29,6 +31,7 @@ from hypothesis import given, settings, strategies as st
 import repro.cuda_port  # noqa: F401 - registers gpusim + gpusim-tiled
 from repro.core.api import select_bandwidth
 from repro.core.backends import get_backend
+from repro.core.blockwise import plan_for
 from repro.core.fastgrid import cv_scores_fastgrid, cv_scores_fastgrid_python
 from repro.obs import Tracer, use_tracer
 from repro.parallel.pool import WorkerPool
@@ -117,6 +120,69 @@ class TestBitForBitWithinFamilies:
         assert a_plain.tobytes() == b_plain.tobytes()
 
 
+def _adversarial_block_sizes(n: int) -> tuple[int, ...]:
+    """Degenerate partitions: single rows, one fat + one sliver (B = n-1),
+    a size that does not divide n, exactly one block, and B > n."""
+    return (1, n - 1, n // 3 + 1, n, 2 * n)
+
+
+class TestBlockwiseOutOfCore:
+    """The out-of-core sweeps must reproduce numpy to the last bit at
+    EVERY partition — the strict row-order fold is the whole contract."""
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_blocked_matches_numpy_at_adversarial_block_sizes(self, draw):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        ref = np.asarray(get_backend("numpy")(x, y, grid, kernel))
+        blocked = get_backend("blocked")
+        for rows in _adversarial_block_sizes(n):
+            got_plain, got_traced = _traced_and_untraced(
+                lambda rows=rows: blocked(x, y, grid, kernel, block_rows=rows)
+            )
+            assert got_plain.tobytes() == got_traced.tobytes(), f"B={rows}"
+            assert got_plain.tobytes() == ref.tobytes(), f"B={rows}"
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_blocked_shm_matches_numpy_at_adversarial_partitions(self, draw):
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        ref = np.asarray(get_backend("numpy")(x, y, grid, kernel))
+        shm = get_backend("blocked-shm")
+        for rows, workers in (
+            (1, 2),            # one row per block, striped over two workers
+            (n - 1, 2),        # a fat block and a one-row sliver
+            (n // 3 + 1, 3),   # B does not divide n
+            (n, 1),            # single block on the serial in-parent path
+        ):
+            got_plain, got_traced = _traced_and_untraced(
+                lambda rows=rows, workers=workers: shm(
+                    x, y, grid, kernel, block_rows=rows, workers=workers
+                )
+            )
+            tag = f"B={rows}, workers={workers}"
+            assert got_plain.tobytes() == got_traced.tobytes(), tag
+            assert got_plain.tobytes() == ref.tobytes(), tag
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(draw=draws)
+    def test_budget_planned_partition_is_still_bit_identical(self, draw):
+        # Let the *planner* pick the partition from a byte budget — the
+        # curve must not depend on where the budget happened to land.
+        n, k, kernel, seed = draw
+        x, y = _sample(n, seed)
+        grid = _grid(x, k)
+        ref = np.asarray(get_backend("numpy")(x, y, grid, kernel))
+        plan = plan_for(n, k, kernel)
+        assert plan.block_rows >= 1
+        got = np.asarray(get_backend("blocked")(x, y, grid, kernel))
+        assert got.tobytes() == ref.tobytes()
+
+
 class TestCrossFamilyAgreement:
     """Different accumulation orders / precisions agree to tolerance."""
 
@@ -153,6 +219,8 @@ class TestCrossFamilyAgreement:
             ("numpy", {}),
             ("python", {}),
             ("multicore", {"pool": shared_pool}),
+            ("blocked", {"block_rows": 7}),
+            ("blocked-shm", {"block_rows": 7, "workers": 2}),
             ("gpusim", {"mode": "fast"}),
             ("gpusim-tiled", {}),
         ):
@@ -171,6 +239,13 @@ class TestAdversarialGrids:
         ref = cv_scores_fastgrid(x, y, grid, kernel)
         alt = cv_scores_fastgrid_python(x, y, grid, kernel)
         f32 = get_backend("gpusim")(x, y, grid, kernel, mode="fast")
+        # The out-of-core sweep hits the same degenerate windows through
+        # an awkward partition (B = 5 never divides these samples evenly)
+        # and must still agree to the last bit, non-finite lanes included.
+        blk = np.asarray(
+            get_backend("blocked")(x, y, grid, kernel, block_rows=5)
+        )
+        assert blk.tobytes() == ref.tobytes()
         finite = np.isfinite(ref)
         assert (np.isfinite(alt) == finite).all()
         assert (np.isfinite(f32) == finite).all()

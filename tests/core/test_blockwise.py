@@ -1,0 +1,130 @@
+"""Tests for the blockwise out-of-core sweep and its memory plan.
+
+The headline claim — "the n = 20,000 memory wall is gone" — is proven
+two ways: bit-for-bit equality of the blocked CV curve with the
+all-at-once numpy sweep at every partition, and a tracemalloc guard
+holding the real allocation peak of an n = 20,000 sweep to within 1.5×
+of the planner's ``predicted_peak_bytes``.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.blockwise import (
+    cv_scores_blocked,
+    cv_scores_blocked_shm,
+    plan_for,
+)
+from repro.core.fastgrid import cv_scores_fastgrid
+from repro.exceptions import MemoryBudgetError, ValidationError
+
+
+def _sample(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1.0, n)
+    y = np.sin(2.0 * np.pi * x) + rng.normal(0.0, 0.3, n)
+    return x, y
+
+
+class TestPlanFor:
+    def test_kernel_polynomial_terms_drive_the_row_cost(self) -> None:
+        # Epanechnikov sweeps two polynomial terms per row, uniform one:
+        # the same budget must therefore fit more uniform rows.
+        epa = plan_for(4000, 16, "epanechnikov", memory_budget="64MiB")
+        uni = plan_for(4000, 16, "uniform", memory_budget="64MiB")
+        assert uni.bytes_per_row < epa.bytes_per_row
+        assert uni.block_rows >= epa.block_rows
+
+    def test_output_matrix_variant_plans_smaller_blocks(self) -> None:
+        bare = plan_for(4000, 16, "epanechnikov", memory_budget="64MiB")
+        shm = plan_for(
+            4000, 16, "epanechnikov", memory_budget="64MiB",
+            output_matrix=True,
+        )
+        assert shm.fixed_bytes == bare.fixed_bytes + 4000 * 16 * 8
+
+    def test_block_rows_override_wins(self) -> None:
+        plan = plan_for(4000, 16, "epanechnikov", block_rows=17)
+        assert plan.block_rows == 17
+
+    def test_impossible_budget_is_typed(self) -> None:
+        with pytest.raises(MemoryBudgetError) as info:
+            plan_for(20_000, 16, "epanechnikov", memory_budget=4096)
+        assert info.value.code == "REPRO_MEM_BUDGET"
+
+
+class TestBlockedEqualsDense:
+    def test_blocked_matches_fastgrid_bit_for_bit(self) -> None:
+        x, y = _sample(157)
+        grid = np.linspace(0.02, 0.6, 9)
+        ref = cv_scores_fastgrid(x, y, grid, "epanechnikov")
+        for rows in (1, 13, 156, 157, 400):
+            got = cv_scores_blocked(
+                x, y, grid, "epanechnikov", block_rows=rows
+            )
+            assert got.tobytes() == ref.tobytes(), f"B={rows}"
+
+    def test_blocked_shm_matches_fastgrid_bit_for_bit(self) -> None:
+        x, y = _sample(157, seed=5)
+        grid = np.linspace(0.02, 0.6, 7)
+        ref = cv_scores_fastgrid(x, y, grid, "epanechnikov")
+        for rows, workers in ((13, 3), (1, 2), (157, 4), (50, 1)):
+            got = cv_scores_blocked_shm(
+                x, y, grid, "epanechnikov", block_rows=rows, workers=workers
+            )
+            assert got.tobytes() == ref.tobytes(), f"B={rows}, w={workers}"
+
+    def test_budget_string_accepted_end_to_end(self) -> None:
+        x, y = _sample(300, seed=2)
+        grid = np.linspace(0.05, 0.5, 5)
+        ref = cv_scores_fastgrid(x, y, grid, "uniform")
+        got = cv_scores_blocked(
+            x, y, grid, "uniform", memory_budget="16MiB"
+        )
+        assert got.tobytes() == ref.tobytes()
+
+    def test_validation_still_applies(self) -> None:
+        with pytest.raises(ValidationError):
+            cv_scores_blocked(
+                np.arange(5.0), np.arange(4.0), np.array([0.1]),
+                "epanechnikov",
+            )
+
+
+class TestMemoryWall:
+    """tracemalloc-verified: the planner's peak model is honest."""
+
+    def _measured_peak(self, n: int, budget: str, k: int = 8) -> tuple[int, int]:
+        x, y = _sample(n, seed=11)
+        grid = np.linspace(0.02, 0.6, k)
+        plan = plan_for(n, k, "epanechnikov", memory_budget=budget)
+        assert plan.n_blocks > 1, "the wall test needs an actual partition"
+        tracemalloc.start()
+        try:
+            scores = cv_scores_blocked(
+                x, y, grid, "epanechnikov", memory_budget=budget
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert np.isfinite(scores).all()
+        return peak, plan.predicted_peak_bytes
+
+    def test_small_sweep_peak_within_prediction(self) -> None:
+        # Fast guard for every run: n = 2,000 under an 8 MiB budget.
+        peak, predicted = self._measured_peak(2_000, "8MiB")
+        assert peak <= 1.5 * predicted, (peak, predicted)
+
+    @pytest.mark.perf
+    def test_n20000_sweep_breaks_the_paper_wall(self) -> None:
+        # n = 20,000 is where the paper's CUDA program dies of OOM
+        # (Section IV-A).  Here the whole sweep runs inside a 64 MiB
+        # working set, and the planner's prediction bounds the real
+        # tracemalloc peak to within 1.5x.
+        peak, predicted = self._measured_peak(20_000, "64MiB")
+        assert peak <= 1.5 * predicted, (peak, predicted)
+        assert peak < 128 * 1024**2

@@ -103,11 +103,47 @@ GOLDEN = {
         (1, "grid-search"),
         (2, "evaluate-grid"),
         (3, "backend:multicore"),
-        (4, "pool.sum_over_blocks"),
+        # map, not sum: the backend folds the ordered row matrices itself
+        # so the curve is bit-identical to numpy at any worker count.
+        (4, "pool.map_over_blocks"),
         (5, "block"),
         *SWEEP,
         (5, "block"),
         *SWEEP,
+        (2, "argmin"),
+    ],
+    "blocked": [
+        (0, "select_bandwidth"),
+        (1, "grid-search"),
+        (2, "evaluate-grid"),
+        (3, "backend:blocked"),
+        (4, "blocked-sweep"),
+        (5, "plan"),
+        (5, "block-sweep"),
+        (6, "block"),
+        (7, "sort"),
+        (7, "sweep"),
+        (7, "reduction"),
+        (6, "reduce"),
+        (2, "argmin"),
+    ],
+    "blocked-shm": [
+        (0, "select_bandwidth"),
+        (1, "grid-search"),
+        (2, "evaluate-grid"),
+        (3, "backend:blocked-shm"),
+        (4, "blocked-shm-sweep"),
+        (5, "plan"),
+        (5, "block-sweep"),
+        (6, "block"),
+        (7, "sort"),
+        (7, "sweep"),
+        (7, "reduction"),
+        (6, "block"),
+        (7, "sort"),
+        (7, "sweep"),
+        (7, "reduction"),
+        (5, "reduce"),
         (2, "argmin"),
     ],
 }
@@ -135,6 +171,27 @@ class TestGoldenTrees:
         with WorkerPool(2) as pool:
             tracer, _ = run_traced(*sample, "multicore", pool=pool)
         assert shape(tracer) == GOLDEN["multicore"]
+
+    def test_blocked_tree(self, sample):
+        # The default budget plans the whole N=32 sample into one block.
+        tracer, _ = run_traced(*sample, "blocked")
+        assert shape(tracer) == GOLDEN["blocked"]
+
+    def test_blocked_shm_tree(self, sample):
+        # block_rows = N/2 forces exactly two adopted worker blocks.
+        tracer, _ = run_traced(
+            *sample, "blocked-shm", workers=2, block_rows=N // 2
+        )
+        assert shape(tracer) == GOLDEN["blocked-shm"]
+
+    def test_blocked_plan_attributes(self, sample):
+        tracer, _ = run_traced(*sample, "blocked")
+        by_name = {rec.name: rec for rec, _ in span_tree(tracer)}
+        plan = by_name["plan"].attributes
+        assert plan["n"] == N and plan["k"] == K
+        assert plan["block_rows"] >= 1
+        assert plan["n_blocks"] == -(-N // plan["block_rows"])
+        assert plan["predicted_peak_bytes"] <= plan["budget_bytes"]
 
     def test_resilient_tree_structure(self, sample):
         tracer, _ = run_traced(*sample, "numpy", resilience=True)

@@ -1,5 +1,7 @@
 """Tests for the process-pool substrate."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,17 @@ from repro.parallel import WorkerPool, available_workers, parallel_sum
 
 def _square(v):
     return v * v
+
+
+_INIT_FLAG = "REPRO_TEST_POOL_INIT"
+
+
+def _mark_initialized(value):
+    os.environ[_INIT_FLAG] = value
+
+
+def _read_init_flag(_item):
+    return os.environ.get(_INIT_FLAG, "uninitialized")
 
 
 def _block_vector(scale, start, stop):
@@ -84,6 +97,23 @@ class TestWorkerPoolLifecycle:
             pool.rebuild()
             assert pool.rebuilds == 1
             assert pool.map(_square, [3]) == [9]
+
+    def test_rebuild_reruns_the_initializer(self, monkeypatch):
+        # Regression: rebuild() used to refork *without* the caller's
+        # initializer/initargs, so replacement workers came up with none
+        # of the state the original fork had (for the shm backend: no
+        # attached workspace, every block call dead on arrival).  The
+        # flag lives in worker environments only — the parent never sets
+        # it — so a refork that skips the initializer reads
+        # "uninitialized".
+        monkeypatch.delenv(_INIT_FLAG, raising=False)
+        with WorkerPool(
+            2, initializer=_mark_initialized, initargs=("ready",)
+        ) as pool:
+            assert set(pool.map(_read_init_flag, range(4))) == {"ready"}
+            pool.rebuild()
+            assert set(pool.map(_read_init_flag, range(4))) == {"ready"}
+        assert _INIT_FLAG not in os.environ
 
     def test_rebuild_of_closed_pool_rejected(self):
         pool = WorkerPool(2)

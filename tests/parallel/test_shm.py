@@ -1,0 +1,193 @@
+"""Tests for the shared-memory workspace substrate.
+
+Two invariants matter more than any feature: segment *ownership* (the
+parent unlinks every segment exactly once, workers never do) and
+*litter* (``/dev/shm`` holds no ``repro-shm-*`` entry once a workspace
+closes, no matter how the run ended).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SharedSegmentError, ValidationError
+from repro.parallel import (
+    SEGMENT_PREFIX,
+    SharedArray,
+    ShmWorkspace,
+    WorkerPool,
+    attach_workspace,
+    current_workspace,
+    detach_workspace,
+)
+
+
+def _litter() -> list[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+
+
+@pytest.fixture(autouse=True)
+def no_segment_litter():
+    assert _litter() == [], "leaked segments from an earlier test"
+    yield
+    assert _litter() == [], "test leaked shared-memory segments"
+
+
+# Top-level so fork-pool workers can resolve them by name.
+def _span_sum(start: int, stop: int) -> float:
+    workspace = current_workspace()
+    return float(np.sum(workspace["x"][start:stop]))
+
+
+def _write_span(value: float, start: int, stop: int) -> tuple[int, int]:
+    workspace = current_workspace()
+    workspace["out"][start:stop] = value
+    return start, stop
+
+
+class TestSharedArray:
+    def test_create_names_carry_the_prefix(self) -> None:
+        shared = SharedArray.create("x", (8,), "float64")
+        try:
+            assert shared.spec.name.startswith(f"{SEGMENT_PREFIX}-x-")
+            assert shared.owner
+        finally:
+            shared.close()
+
+    def test_attach_sees_the_owner_bytes(self) -> None:
+        owner = SharedArray.create("x", (16,), "float64")
+        try:
+            owner.array[...] = np.arange(16.0)
+            view = SharedArray.attach(owner.spec)
+            try:
+                np.testing.assert_array_equal(view.array, np.arange(16.0))
+                assert not view.owner
+            finally:
+                view.close()
+        finally:
+            owner.close()
+
+    def test_attach_after_unlink_is_typed(self) -> None:
+        owner = SharedArray.create("x", (4,), "float64")
+        spec = owner.spec
+        owner.close()
+        with pytest.raises(SharedSegmentError, match="vanished"):
+            SharedArray.attach(spec)
+
+    def test_empty_segment_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            SharedArray.create("x", (0,), "float64")
+
+    def test_close_is_idempotent(self) -> None:
+        shared = SharedArray.create("x", (4,), "float64")
+        shared.close()
+        shared.close()
+
+
+class TestShmWorkspace:
+    def test_manifest_round_trip(self) -> None:
+        x = np.arange(32.0)
+        with ShmWorkspace.create(inputs={"x": x}) as workspace:
+            attached = ShmWorkspace.attach(workspace.manifest())
+            try:
+                np.testing.assert_array_equal(attached["x"], x)
+            finally:
+                attached.close()
+
+    def test_outputs_are_zeroed(self) -> None:
+        with ShmWorkspace.create(
+            inputs={}, outputs={"out": ((4, 3), "float64")}
+        ) as workspace:
+            assert workspace["out"].shape == (4, 3)
+            assert not workspace["out"].any()
+
+    def test_unknown_tag_is_typed(self) -> None:
+        with ShmWorkspace.create(inputs={"x": np.arange(4.0)}) as workspace:
+            with pytest.raises(SharedSegmentError, match="no segment"):
+                workspace["nope"]
+
+    def test_closed_workspace_refuses_access(self) -> None:
+        workspace = ShmWorkspace.create(inputs={"x": np.arange(4.0)})
+        workspace.close()
+        workspace.close()  # idempotent
+        with pytest.raises(SharedSegmentError, match="closed"):
+            workspace["x"]
+
+    def test_create_registers_the_parent_as_current(self) -> None:
+        with ShmWorkspace.create(inputs={"x": np.arange(4.0)}) as workspace:
+            assert current_workspace() is workspace
+        with pytest.raises(SharedSegmentError, match="no shared-memory"):
+            current_workspace()
+
+    def test_detach_never_closes_the_owner(self) -> None:
+        workspace = ShmWorkspace.create(inputs={"x": np.arange(4.0)})
+        try:
+            detach_workspace()
+            # The owner's segments must survive a stray detach: only the
+            # close() below may unlink them.
+            np.testing.assert_array_equal(workspace["x"], np.arange(4.0))
+        finally:
+            workspace.close()
+
+
+class TestPoolIntegration:
+    def test_workers_read_through_the_manifest(self) -> None:
+        x = np.arange(100.0)
+        with ShmWorkspace.create(inputs={"x": x}) as workspace:
+            with WorkerPool(
+                2,
+                initializer=attach_workspace,
+                initargs=(workspace.manifest(),),
+            ) as pool:
+                got = pool.starmap(_span_sum, [(0, 50), (50, 100)])
+        assert got == [float(np.sum(x[:50])), float(np.sum(x[50:]))]
+
+    def test_workers_write_the_shared_output(self) -> None:
+        with ShmWorkspace.create(
+            inputs={}, outputs={"out": ((10,), "float64")}
+        ) as workspace:
+            with WorkerPool(
+                2,
+                initializer=attach_workspace,
+                initargs=(workspace.manifest(),),
+            ) as pool:
+                pool.starmap(
+                    _write_span, [(1.0, 0, 4), (2.0, 4, 10)]
+                )
+            expected = np.r_[np.ones(4), 2.0 * np.ones(6)]
+            np.testing.assert_array_equal(workspace["out"], expected)
+
+    def test_rebuild_reattaches_the_workspace(self) -> None:
+        # The regression behind WorkerPool.rebuild(): a refork that
+        # forgot its initializer would leave workers with no workspace
+        # and every block call raising SharedSegmentError.
+        x = np.arange(60.0)
+        with ShmWorkspace.create(inputs={"x": x}) as workspace:
+            with WorkerPool(
+                2,
+                initializer=attach_workspace,
+                initargs=(workspace.manifest(),),
+            ) as pool:
+                before = pool.starmap(_span_sum, [(0, 30), (30, 60)])
+                pool.rebuild()
+                after = pool.starmap(_span_sum, [(0, 30), (30, 60)])
+        assert after == before
+
+    def test_serial_fallback_runs_in_the_parent(self) -> None:
+        # workers=1 never forks: the parent's own (owning) workspace is
+        # the process-current one and the block function resolves it.
+        x = np.arange(20.0)
+        with ShmWorkspace.create(inputs={"x": x}) as workspace:
+            with WorkerPool(
+                1,
+                initializer=attach_workspace,
+                initargs=(workspace.manifest(),),
+            ) as pool:
+                got = pool.starmap(_span_sum, [(0, 20)])
+        assert got == [float(np.sum(x))]

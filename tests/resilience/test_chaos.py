@@ -14,6 +14,8 @@ Seeds sweep a CI matrix via ``REPRO_CHAOS_SEED`` (see conftest).
 from __future__ import annotations
 
 import dataclasses
+import glob
+import os
 
 import numpy as np
 import pytest
@@ -28,6 +30,15 @@ from repro.resilience.engine import (
 from repro.resilience.policy import RetryBudgetExceeded, RetryPolicy
 
 pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def no_shm_litter():
+    """Every chaos run — worker crashes, segment unlinks, retry storms —
+    must leave ``/dev/shm`` free of ``repro-shm-*`` segments."""
+    yield
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob("/dev/shm/repro-shm-*") == []
 
 #: (backend, fault spec) cells where the fault is absorbed *in place*
 #: (retry on the same backend) — scores must match bit for bit.
@@ -72,6 +83,26 @@ RETRY_CELLS = [
         FaultSpec(site="data.block", kind="inf", at=(0,)),
         id="gpusim-tiled-inf-block",
     ),
+    pytest.param(
+        "blocked",
+        FaultSpec(site="data.block", kind="nan", at=(1,)),
+        id="blocked-nan-block",
+    ),
+    pytest.param(
+        "blocked-shm",
+        FaultSpec(site="shm.worker", kind="crash", at=(1,)),
+        id="blocked-shm-worker-crash",
+    ),
+    pytest.param(
+        "blocked-shm",
+        FaultSpec(site="shm.worker", kind="timeout", at=(2,)),
+        id="blocked-shm-worker-timeout",
+    ),
+    pytest.param(
+        "blocked-shm",
+        FaultSpec(site="data.block", kind="nan", at=(0,)),
+        id="blocked-shm-nan-block",
+    ),
 ]
 
 #: Cells where the fault is structural and the engine must *degrade* —
@@ -88,6 +119,12 @@ DEGRADE_CELLS = [
         FaultSpec(site="gpusim.malloc", kind="oom", rate=1.0),
         "multicore",
         id="tiled-oom-to-multicore",
+    ),
+    pytest.param(
+        "blocked-shm",
+        FaultSpec(site="shm.segment", kind="unlink", at=(0,)),
+        "blocked",
+        id="shm-unlink-to-blocked",
     ),
 ]
 
@@ -171,6 +208,63 @@ class TestDegradation:
                 resilient_cv_scores(
                     x, y, chaos_grid, backend="gpusim", config=config
                 )
+
+
+class TestSharedMemoryChaos:
+    """The shm spur is special: its fallback twin computes the *same*
+    partition with the same arithmetic, so degradation is lossless —
+    stronger than the allclose contract of the generic degrade cells."""
+
+    def test_unlink_degradation_is_bit_identical(
+        self, chaos_sample, chaos_grid, chaos_seed, fast_config
+    ) -> None:
+        clean = _clean_scores(chaos_sample, chaos_grid, "blocked", fast_config)
+        x, y = chaos_sample
+        spec = FaultSpec(site="shm.segment", kind="unlink", at=(0,))
+        with inject_faults(FaultInjector([spec], seed=chaos_seed)):
+            scores, report = resilient_cv_scores(
+                x, y, chaos_grid, backend="blocked-shm", config=fast_config
+            )
+        np.testing.assert_array_equal(scores, clean)
+        assert report.degraded
+        assert report.backend_used == "blocked"
+
+    def test_worker_death_storm_is_bit_for_bit_and_leak_free(
+        self, chaos_sample, chaos_grid, chaos_seed, fast_config
+    ) -> None:
+        clean = _clean_scores(
+            chaos_sample, chaos_grid, "blocked-shm", fast_config
+        )
+        x, y = chaos_sample
+        storm = FaultInjector(
+            [
+                FaultSpec(
+                    site="shm.worker", kind="crash", rate=0.4, max_triggers=3
+                ),
+            ],
+            seed=chaos_seed,
+        )
+        with inject_faults(storm):
+            scores, report = resilient_cv_scores(
+                x, y, chaos_grid, backend="blocked-shm", config=fast_config
+            )
+        np.testing.assert_array_equal(scores, clean)
+        assert report.backend_used == "blocked-shm"
+        assert not report.degraded
+        assert report.retries == len(storm.log)
+        # The autouse fixture re-checks this, but the point of the test
+        # deserves its own assertion: crashes must not leak segments.
+        if os.path.isdir("/dev/shm"):
+            assert glob.glob("/dev/shm/repro-shm-*") == []
+
+    def test_blocked_and_blocked_shm_agree_bit_for_bit_when_clean(
+        self, chaos_sample, chaos_grid, fast_config
+    ) -> None:
+        a = _clean_scores(chaos_sample, chaos_grid, "blocked", fast_config)
+        b = _clean_scores(
+            chaos_sample, chaos_grid, "blocked-shm", fast_config
+        )
+        np.testing.assert_array_equal(a, b)
 
 
 class TestCheckpointResume:

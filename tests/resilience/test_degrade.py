@@ -9,6 +9,7 @@ from repro.exceptions import (
     DeviceMemoryError,
     KernelExecutionError,
     PoolStateError,
+    SharedSegmentError,
     ValidationError,
     WorkerCrashError,
 )
@@ -40,6 +41,7 @@ class TestClassification:
         [
             DeviceMemoryError("4 GB wall"),
             PoolStateError("pool retired"),
+            SharedSegmentError("segment unlinked under the pool"),
             RetryBudgetExceeded("gave up"),
         ],
     )
@@ -61,10 +63,20 @@ class TestFallbackChain:
         assert fallback_chain("gpusim") == DEFAULT_FALLBACK_CHAIN
 
     def test_suffix_from_mid_chain(self) -> None:
-        assert fallback_chain("multicore") == ("multicore", "numpy")
+        assert fallback_chain("multicore") == ("multicore", "blocked", "numpy")
+        assert fallback_chain("blocked") == ("blocked", "numpy")
 
     def test_terminal_backend_has_no_fallback(self) -> None:
         assert fallback_chain("numpy") == ("numpy",)
+
+    def test_blocked_shm_joins_at_blocked(self) -> None:
+        # The shm spur degrades to its bit-identical process-local twin
+        # first, never to multicore (which would refork a pool for no win).
+        assert fallback_chain("blocked-shm") == (
+            "blocked-shm",
+            "blocked",
+            "numpy",
+        )
 
     def test_unknown_backend_falls_to_serial(self) -> None:
         assert fallback_chain("python") == ("python", "numpy")
