@@ -1,0 +1,61 @@
+"""Full paper-scale sweep driver for EXPERIMENTS.md.
+
+Runs Table I (all four programs, n up to 20,000) with a reduced but
+fixed optimisation budget for the numeric programs (``n_restarts=2``,
+``maxiter=40`` — enough to converge on this objective; the budget is
+reported), then Table II (sequential panel measured, CUDA panel
+modeled), then the shape report.  Writes artifacts to ``results/full/``.
+
+Run:  python scripts/run_full_sweep.py        (from the repo root)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+# Runnable straight from a checkout: put src/ on the path when the
+# package is not installed.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import (  # noqa: E402
+    run_table1,
+    run_table2,
+    shape_report,
+    write_results_json,
+    write_table1_csv,
+    write_table2_csv,
+)
+from repro.bench.tables import PAPER_BANDWIDTH_COUNTS, PAPER_SIZES  # noqa: E402
+
+
+def main() -> int:
+    t0 = time.time()
+    table1 = run_table1(
+        sizes=PAPER_SIZES, k=50, seed=0, n_restarts=2, maxiter=40
+    )
+    print(table1.to_text())
+    print()
+    table2 = run_table2(
+        bandwidth_counts=PAPER_BANDWIDTH_COUNTS, sizes=PAPER_SIZES, seed=0
+    )
+    print(table2.to_text())
+    print()
+    report = shape_report(table1, table2)
+    print(report)
+    write_table1_csv(table1, "results/full/table1.csv")
+    write_table2_csv(table2, "results/full/table2.csv")
+    write_results_json(
+        "results/full/results.json",
+        table1=table1,
+        table2=table2,
+        shape_report=report,
+        metadata={"budget": "n_restarts=2, maxiter=40", "k": 50},
+    )
+    print(f"\ntotal sweep wall time: {time.time()-t0:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Finding baseline: the ratchet that lets the linter gate CI.
+
+A baseline records the findings a tree is *known* to have, so the gate
+can fail on **new** findings only: existing debt is frozen, the count
+can go down but never silently up.  ``repro-lint --update-baseline``
+writes it; ``repro-lint --baseline FILE`` subtracts it.
+
+Matching is by ``(path, rule, message)`` — deliberately **not** by line
+number, so unrelated edits that shift a baselined finding up or down the
+file do not resurface it.  Matching consumes baseline entries multiset-
+style: two identical new findings against one baselined entry report one
+new finding.
+
+The file is JSON, sorted and newline-terminated, so diffs of the ratchet
+itself review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "partition"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be read or has the wrong shape."""
+
+
+def _key(path: str, rule: str, message: str) -> tuple[str, str, str]:
+    return (_normalise(path), rule, message)
+
+
+def _normalise(path: str) -> str:
+    """Repo-portable form: posix separators, relative to cwd when under it."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Counter = Counter(
+            _key(f.path, f.rule_id, f.message) for f in findings
+        )
+        return cls(entries=counts)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise BaselineError(
+                f"baseline {path} has an unrecognised shape (expected "
+                f'{{"version": {_FORMAT_VERSION}, "findings": [...]}}'
+            )
+        counts: Counter = Counter()
+        for item in payload["findings"]:
+            try:
+                counts[_key(item["path"], item["rule"], item["message"])] += int(
+                    item.get("count", 1)
+                )
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"baseline {path}: malformed entry {item!r}"
+                ) from exc
+        return cls(entries=counts)
+
+    def save(self, path: str | Path) -> None:
+        findings = [
+            {"path": p, "rule": rule, "message": message, "count": count}
+            for (p, rule, message), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "findings": findings}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, ensure_ascii=False) + "\n",
+            encoding="utf-8",
+        )
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, baselined)`` against the ratchet.
+
+    Consumes baseline entries as they match, so growth *within* one
+    (path, rule, message) bucket still surfaces as new.
+    """
+    remaining = Counter(baseline.entries)
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        key = _key(finding.path, finding.rule_id, finding.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return new, accepted

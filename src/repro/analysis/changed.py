@@ -1,0 +1,53 @@
+"""Git-aware file filtering for ``repro-lint --changed``.
+
+``--changed`` narrows the *report* to files touched in the working tree
+(staged, unstaged, and untracked), which is what a pre-commit hook
+wants.  The whole-program index is still built over every path given —
+cross-module dtype summaries must see the unchanged modules, otherwise
+a changed caller of an unchanged validator would lose exactly the
+cross-module knowledge this engine exists for.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["GitError", "changed_files"]
+
+
+class GitError(RuntimeError):
+    """git could not be consulted (not a repo, no binary, …)."""
+
+
+def _git_lines(args: list[str], cwd: Path) -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitError(f"cannot run git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        raise GitError(
+            f"git {' '.join(args)} failed: {proc.stderr.strip() or proc.returncode}"
+        )
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_files(cwd: str | Path = ".") -> set[Path]:
+    """Absolute paths of files modified relative to HEAD plus untracked.
+
+    Covers the pre-commit surface: staged edits, unstaged edits, and
+    new files not yet known to git.
+    """
+    base = Path(cwd).resolve()
+    root = Path(_git_lines(["rev-parse", "--show-toplevel"], base)[0])
+    names = set(_git_lines(["diff", "--name-only", "HEAD", "--"], base))
+    names |= set(
+        _git_lines(["ls-files", "--others", "--exclude-standard"], base)
+    )
+    return {(root / name).resolve() for name in names}

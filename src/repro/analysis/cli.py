@@ -4,10 +4,15 @@ Usage::
 
     repro-lint src/                      # lint a tree, text report
     repro-lint --format json src/repro   # machine-readable
+    repro-lint --format sarif --output lint.sarif src/
+    repro-lint --baseline lint-baseline.json src/   # ratchet: new-only
+    repro-lint --update-baseline lint-baseline.json src/
+    repro-lint --changed src/            # report only git-dirty files
     repro-lint --select NUM001,NUM004 f.py
     repro-lint --list-rules
 
-Exit status: 0 when clean, 1 when findings (or unparsable files) exist.
+Exit status: 0 when clean (or every finding is baselined), 1 when new
+findings (or unparsable files) exist.
 """
 
 from __future__ import annotations
@@ -17,9 +22,12 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.baseline import Baseline, BaselineError, partition
+from repro.analysis.changed import GitError, changed_files
 from repro.analysis.engine import LintEngine
 from repro.analysis.report import render_json, render_text
 from repro.analysis.rules import RULE_REGISTRY
+from repro.analysis.sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -35,7 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-aware static analysis for the repro codebase: "
-        "numerical correctness, hot-path hygiene, parallel/device safety.",
+        "numerical correctness, dtype flow, determinism, concurrency "
+        "lifecycles, hot-path hygiene, parallel/device safety.",
     )
     parser.add_argument(
         "paths",
@@ -45,9 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-f",
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -62,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="ratchet file: only findings NOT recorded in FILE fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the current findings to FILE as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only files modified in git (staged/unstaged/untracked); "
+        "the whole-program index still covers every given path",
     )
     parser.add_argument(
         "--list-rules",
@@ -84,7 +121,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        _print(_list_rules())
+        _emit(_list_rules(), args.output)
         return 0
     if not args.paths:
         parser.error("no paths given (or use --list-rules)")
@@ -101,17 +138,59 @@ def main(argv: Sequence[str] | None = None) -> int:
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"path does not exist: {', '.join(missing)}")
+    if args.baseline and args.update_baseline:
+        parser.error("--baseline and --update-baseline are mutually exclusive")
+
     engine = LintEngine(select=select, ignore=ignore)
     findings = engine.lint_paths(args.paths)
-    if args.format == "json":
-        _print(render_json(findings))
+
+    if args.changed:
+        # The full project was indexed above; only the *report* narrows.
+        try:
+            dirty = changed_files()
+        except GitError as exc:
+            parser.error(str(exc))
+        findings = [
+            f for f in findings if Path(f.path).resolve() in dirty
+        ]
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.update_baseline)
+        _emit(
+            f"baseline written: {len(findings)} finding(s) recorded to "
+            f"{args.update_baseline}",
+            None,
+        )
+        return 0
+
+    baselined: list = []
+    if args.baseline:
+        try:
+            ratchet = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            parser.error(str(exc))
+        findings, baselined = partition(findings, ratchet)
+
+    if args.format == "sarif":
+        _emit(
+            render_sarif(findings, baselined=baselined).rstrip("\n"),
+            args.output,
+        )
+    elif args.format == "json":
+        _emit(render_json(findings), args.output)
     else:
-        _print(render_text(findings))
+        text = render_text(findings)
+        if baselined:
+            text += f"\n{len(baselined)} baselined finding(s) suppressed"
+        _emit(text, args.output)
     return 1 if findings else 0
 
 
-def _print(text: str) -> None:
-    """Print, exiting quietly when the reader (e.g. ``head``) hung up."""
+def _emit(text: str, output: str | None) -> None:
+    """Write the report to ``output`` (or stdout, pipe-safely)."""
+    if output is not None:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+        return
     try:
         print(text)
     except BrokenPipeError:  # pragma: no cover - pipeline plumbing

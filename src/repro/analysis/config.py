@@ -61,6 +61,41 @@ class LintConfig:
     )
     #: SRV001: event-loop modules where blocking calls stall all requests.
     serving_modules: tuple[str, ...] = ("serving/*.py",)
+    #: DTY001-3: modules whose dtype flow is contract, not convenience —
+    #: the float32 fast path (ROADMAP 1) must *choose* every precision
+    #: change.  cuda_port/gpusim are excluded: narrowing to float32 there
+    #: IS the paper's single-precision ablation.
+    dtype_guard_modules: tuple[str, ...] = (
+        "core/*.py",
+        "kde/*.py",
+        "multivariate/*.py",
+        "utils/*.py",
+    )
+    #: DET001/002: reduction-path modules where iteration order is part
+    #: of the bit-identical-fold contract the distributed layer inherits.
+    determinism_modules: tuple[str, ...] = (
+        "core/*.py",
+        "kde/*.py",
+        "multivariate/*.py",
+        "utils/*.py",
+        "parallel/*.py",
+        "resilience/*.py",
+    )
+    #: DET002 additionally covers the serving fan-in.
+    collection_modules: tuple[str, ...] = (
+        "parallel/*.py",
+        "resilience/*.py",
+        "serving/*.py",
+        "core/*.py",
+    )
+    #: CON001-3: modules that own process/shared-memory lifecycles.
+    concurrency_modules: tuple[str, ...] = (
+        "parallel/*.py",
+        "resilience/*.py",
+        "serving/*.py",
+        "core/*.py",
+        "obs/*.py",
+    )
 
     # -- NUM004: allocations that must name their dtype -------------------
     explicit_dtype_calls: tuple[str, ...] = (
@@ -149,6 +184,32 @@ class LintConfig:
         "SeedSequence",
         "default_rng",  # only with an explicit seed; the rule checks args
     )
+
+    # -- DET001: order-sensitive reduction sinks --------------------------
+    #: Terminal names of the strict-fold primitives: any value that
+    #: reaches one of these must arrive in deterministic order.
+    fold_call_names: tuple[str, ...] = ("fold_rows", "compensated_sum")
+
+    # -- DET002: completion-order collection primitives -------------------
+    unordered_collection_calls: tuple[str, ...] = (
+        "imap_unordered",
+        "as_completed",
+    )
+
+    # -- CON001/002: resource-owning constructors -------------------------
+    #: Terminal (class.method or class) names that allocate a shared
+    #: memory segment the caller must close+unlink on every path.
+    shm_create_call_names: tuple[str, ...] = (
+        "SharedMemory",
+        "ShmWorkspace.create",
+        "SharedArray.create",
+    )
+    #: Pool classes whose instances need with/try-finally lifecycles.
+    pool_class_names: tuple[str, ...] = ("WorkerPool",)
+
+    # -- CON003: fork-safety and lock discipline --------------------------
+    #: Receiver-name substrings treated as locks for join-under-lock.
+    lock_name_hints: tuple[str, ...] = ("lock", "mutex")
 
     # -- misc --------------------------------------------------------------
     #: Extra per-rule disables applied before CLI --select/--ignore.

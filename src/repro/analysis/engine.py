@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig
 from repro.analysis.findings import SYNTAX_RULE_ID, Finding
+from repro.analysis.project import ModuleInfo, ProjectIndex
 from repro.analysis.suppressions import SuppressionIndex
 
 __all__ = ["LintEngine", "ModuleContext", "iter_python_files"]
@@ -121,6 +122,13 @@ class ModuleContext:
     aliases: dict[str, str] = field(default_factory=dict)
     nested_functions: frozenset[str] = frozenset()
     exported: frozenset[str] | None = None
+    #: Whole-program view (symbol table, call graph, dtype summaries).
+    #: Always present after a successful parse — single-snippet lints get
+    #: a one-module index so local function summaries still resolve.
+    project: ProjectIndex | None = None
+    #: This module's entry in :attr:`project` (None only for pathological
+    #: cases where the project parse disagreed with the engine parse).
+    module_info: ModuleInfo | None = None
 
     # -- classification ----------------------------------------------------
 
@@ -219,32 +227,55 @@ class LintEngine:
     # -- single module -----------------------------------------------------
 
     def lint_source(
-        self, source: str, path: str = "<string>", rel: str | None = None
+        self,
+        source: str,
+        path: str = "<string>",
+        rel: str | None = None,
+        project: ProjectIndex | None = None,
     ) -> list[Finding]:
         """Lint one module given as a string; ``rel`` overrides the
-        package-relative path used for module-scoped rules."""
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            return [
-                Finding(
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule_id=SYNTAX_RULE_ID,
-                    message=f"cannot parse file: {exc.msg}",
-                )
-            ]
-        _annotate_parents(tree)
+        package-relative path used for module-scoped rules.
+
+        ``project`` carries the whole-program index when linting a tree
+        (:meth:`lint_paths` builds it once); a single-snippet lint gets a
+        one-module index so cross-function dtype summaries still work
+        within the snippet.
+        """
+        resolved_rel = rel if rel is not None else derive_rel_path(path)
+        info: ModuleInfo | None = None
+        if project is not None:
+            info = project.modules.get(project.by_path.get(str(path), ""))
+        if info is not None:
+            # Reuse the project's parse: same source, already annotated.
+            tree = info.tree
+        else:
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                return [
+                    Finding(
+                        path=path,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule_id=SYNTAX_RULE_ID,
+                        message=f"cannot parse file: {exc.msg}",
+                    )
+                ]
+            _annotate_parents(tree)
+        if project is None:
+            project = ProjectIndex.build([(path, resolved_rel, source)])
+            info = project.modules.get(project.by_path.get(str(path), ""))
         ctx = ModuleContext(
             path=path,
-            rel=rel if rel is not None else derive_rel_path(path),
+            rel=resolved_rel,
             source=source,
             tree=tree,
             config=self.config,
             aliases=_collect_aliases(tree),
             nested_functions=_collect_nested_functions(tree),
             exported=_collect_exported(tree),
+            project=project,
+            module_info=info,
         )
         findings: list[Finding] = []
         for rule in self.rules:
@@ -253,20 +284,46 @@ class LintEngine:
         suppressions = SuppressionIndex.from_source(source)
         return sorted(f for f in findings if not suppressions.is_suppressed(f))
 
-    def lint_file(self, path: str | Path, rel: str | None = None) -> list[Finding]:
+    def lint_file(
+        self,
+        path: str | Path,
+        rel: str | None = None,
+        project: ProjectIndex | None = None,
+    ) -> list[Finding]:
         """Lint one file on disk."""
         text = Path(path).read_text(encoding="utf-8")
-        return self.lint_source(text, path=str(path), rel=rel)
+        return self.lint_source(text, path=str(path), rel=rel, project=project)
 
     # -- trees -------------------------------------------------------------
 
     def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
         """Lint files and/or directory trees; directories are walked for
-        ``*.py`` files (sorted, deterministic order)."""
-        findings: list[Finding] = []
+        ``*.py`` files (sorted, deterministic order).
+
+        The whole file set is indexed into one :class:`ProjectIndex`
+        first, so cross-module rules (dtype flow through the validation
+        funnel, call-graph-aware checks) see every module regardless of
+        which file they fire in.
+        """
+        files: list[tuple[Path, str]] = []
         for path in paths:
             for file_path in iter_python_files(path):
-                findings.extend(self.lint_file(file_path))
+                try:
+                    files.append(
+                        (file_path, file_path.read_text(encoding="utf-8"))
+                    )
+                except OSError:
+                    continue
+        project = ProjectIndex.build(
+            (str(fp), derive_rel_path(fp), source) for fp, source in files
+        )
+        findings: list[Finding] = []
+        for file_path, source in files:
+            findings.extend(
+                self.lint_source(
+                    source, path=str(file_path), project=project
+                )
+            )
         return sorted(findings)
 
 

@@ -4,6 +4,20 @@ from __future__ import annotations
 
 from repro.analysis.rules.base import RULE_REGISTRY, Rule, default_rules, register_rule
 from repro.analysis.rules.api import ValidationFunnelRule
+from repro.analysis.rules.concurrency import (
+    ForkSafetyRule,
+    PoolLifecycleRule,
+    ShmLifecycleRule,
+)
+from repro.analysis.rules.determinism import (
+    UnorderedCollectionRule,
+    UnorderedFoldRule,
+)
+from repro.analysis.rules.dtype_flow import (
+    MixedAccumulationRule,
+    RedundantCastRule,
+    SilentNarrowingRule,
+)
 from repro.analysis.rules.gpu import DeviceDeterminismRule
 from repro.analysis.rules.hotpath import LoopAllocationRule
 from repro.analysis.rules.numeric import ExplicitDtypeRule, FloatEqualityRule
@@ -26,4 +40,12 @@ __all__ = [
     "DeviceDeterminismRule",
     "BroadExceptRule",
     "AsyncBlockingCallRule",
+    "SilentNarrowingRule",
+    "MixedAccumulationRule",
+    "RedundantCastRule",
+    "UnorderedFoldRule",
+    "UnorderedCollectionRule",
+    "ShmLifecycleRule",
+    "PoolLifecycleRule",
+    "ForkSafetyRule",
 ]

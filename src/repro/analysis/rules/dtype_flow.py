@@ -1,0 +1,169 @@
+"""Dtype-flow rules: DTY001 (narrowing), DTY002 (mixed accumulation),
+DTY003 (redundant cast).
+
+These are the first consumers of the whole-program dataflow layer
+(:mod:`repro.analysis.project` + :mod:`repro.analysis.dtypeflow`): each
+rule walks every function of the module under the intraprocedural dtype
+propagation, with calls into *other* modules resolved through project
+function summaries.  That is what lets DTY003 see that
+``ensure_bandwidths(...)`` — defined two packages away — already returns
+float64, so a trailing ``.astype(float)`` is a dead copy.
+
+All three fire only in :attr:`LintConfig.dtype_guard_modules`:
+``cuda_port``/``gpusim`` narrow to float32 *on purpose* (the paper's
+single-precision ablation), and flagging the ablation itself would just
+breed suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.dtypeflow import DtypeEvent, analyse_module
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, register_rule
+
+__all__ = [
+    "MixedAccumulationRule",
+    "RedundantCastRule",
+    "SilentNarrowingRule",
+]
+
+
+def _module_events(ctx: ModuleContext) -> Iterator[DtypeEvent]:
+    """Dtype events for every function (and the module level) of ``ctx``.
+
+    Events are deduplicated by (kind, position): the two-pass loop-body
+    sweep in the propagator may re-emit the same event.
+    """
+    if ctx.module_info is None:  # unparsable elsewhere; nothing to do
+        return
+    seen: set[tuple[str, int, int]] = set()
+    for analysis in analyse_module(ctx.module_info, ctx.project):
+        for event in analysis.events:
+            key = (
+                event.kind,
+                getattr(event.node, "lineno", 0),
+                getattr(event.node, "col_offset", 0),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            yield event
+
+
+class _DtypeRule(Rule):
+    """Shared scoping: dtype rules run in the guarded numerics modules."""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(ctx.config.dtype_guard_modules)
+
+
+@register_rule
+class SilentNarrowingRule(_DtypeRule):
+    """DTY001 — no silent float64 → float32 narrowing in the numerics core.
+
+    The float32 fast path is an *interface*: callers opt in by passing
+    ``dtype="float32"`` at the boundary.  A value that the dataflow
+    proves to be float64 being cast down mid-pipeline loses 29 bits of
+    mantissa invisibly — the CV curve stops being comparable across
+    backends and the paper's precision ablation stops meaning anything.
+    """
+
+    rule_id = "DTY001"
+    summary = "provably-float64 value cast to float32 inside the numerics core"
+    rationale = (
+        "Narrowing mid-pipeline silently halves precision for every "
+        "consumer downstream; precision changes belong at the documented "
+        "dtype= boundaries so the float32 fast path stays an explicit "
+        "opt-in (guards ROADMAP item 1)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for event in _module_events(ctx):
+            if event.kind != "narrow":
+                continue
+            yield self.finding(
+                ctx,
+                event.node,
+                "float64 value narrowed to float32; route precision "
+                "choices through an explicit dtype= parameter at the "
+                "call boundary",
+            )
+
+
+@register_rule
+class MixedAccumulationRule(_DtypeRule):
+    """DTY002 — float32 and float64 must not meet in an accumulation.
+
+    Mixed-width accumulation upcasts per element, so the rounding of the
+    running sum depends on which operand carried which width — exactly
+    the accumulation-order drift Langrené & Warin warn about, and a
+    silent way to break the bit-identical fold contract.
+    """
+
+    rule_id = "DTY002"
+    summary = "accumulation mixing float32 and float64 operands"
+    rationale = (
+        "Mixed-width sums make the rounding pattern depend on operand "
+        "dtype placement; the strict row-order fold is only bit-stable "
+        "when every term enters at one agreed width (guards the "
+        "distributed fold, ROADMAP item 2)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for event in _module_events(ctx):
+            if event.kind != "mixed":
+                continue
+            yield self.finding(
+                ctx,
+                event.node,
+                "float32 and float64 meet in an accumulation; cast once "
+                "at the boundary so every term enters at the same width",
+            )
+
+
+@register_rule
+class RedundantCastRule(_DtypeRule):
+    """DTY003 — no re-casting a value to the dtype it provably has.
+
+    ``ensure_bandwidths(...).astype(float)`` allocates and copies a
+    full array to change nothing: the validator already returns
+    contiguous float64 (the dataflow engine proves it through the
+    cross-module summary chain ``ensure_bandwidths → as_float_array →
+    np.asarray(dtype=float64)``).  Inside a loop the dead copy is also a
+    per-iteration allocation.
+    """
+
+    rule_id = "DTY003"
+    summary = "astype() to the dtype the value already has (dead copy)"
+    rationale = (
+        "A same-dtype astype() is an allocation + copy that changes no "
+        "bits; it hides the real dtype provenance and, in sweep loops, "
+        "costs a buffer per iteration — use the validated value "
+        "directly (e.g. core.grid.ensure_bandwidth_grid for grids)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for event in _module_events(ctx):
+            if event.kind != "redundant":
+                continue
+            target = event.target.value
+            in_loop = (
+                isinstance(event.node, ast.expr)
+                and ctx.enclosing_loop(event.node) is not None
+            )
+            suffix = (
+                " (inside a loop: one dead copy per iteration)"
+                if in_loop
+                else ""
+            )
+            yield self.finding(
+                ctx,
+                event.node,
+                f"value is already {target}; the astype() is a dead "
+                f"copy{suffix} — drop it or hoist the dtype choice to "
+                "the validation boundary",
+            )

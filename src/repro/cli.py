@@ -268,10 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument(
-        "-f", "--format", choices=["text", "json"], default="text"
+        "-f", "--format", choices=["text", "json", "sarif"], default="text"
     )
+    lint.add_argument("-o", "--output", type=str, default=None)
     lint.add_argument("--select", type=str, default=None)
     lint.add_argument("--ignore", type=str, default=None)
+    lint.add_argument("--baseline", type=str, default=None)
+    lint.add_argument("--update-baseline", type=str, default=None)
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only files modified in git",
+    )
     lint.add_argument("--list-rules", action="store_true")
     return parser
 
@@ -544,10 +552,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
     argv: list[str] = ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
     if args.select:
         argv += ["--select", args.select]
     if args.ignore:
         argv += ["--ignore", args.ignore]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv += ["--update-baseline", args.update_baseline]
+    if args.changed:
+        argv.append("--changed")
     if args.list_rules:
         argv.append("--list-rules")
     argv += list(args.paths)

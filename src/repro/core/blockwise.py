@@ -39,7 +39,8 @@ from repro.parallel.shm import ShmWorkspace, attach_workspace, current_workspace
 from repro.resilience import faults
 from repro.utils.membudget import BlockPlan, plan_blocks
 from repro.utils.numeric import fold_rows
-from repro.utils.validation import check_paired_samples, ensure_bandwidths
+from repro.core.grid import ensure_bandwidth_grid
+from repro.utils.validation import check_paired_samples
 
 __all__ = [
     "cv_scores_blocked",
@@ -90,7 +91,7 @@ def cv_scores_blocked(
     ``numpy`` backend's at every block size, including B = 1 and B >= n.
     """
     x, y = check_paired_samples(x, y)
-    grid = ensure_bandwidths(bandwidths).astype(float)
+    grid = ensure_bandwidth_grid(bandwidths)
     kern = require_fast_grid_kernel(kernel)
     n = int(x.shape[0])
     k = int(grid.shape[0])
@@ -179,7 +180,7 @@ def cv_scores_blocked_shm(
     worker count.
     """
     x, y = check_paired_samples(x, y)
-    grid = ensure_bandwidths(bandwidths).astype(float)
+    grid = ensure_bandwidth_grid(bandwidths)
     kern = require_fast_grid_kernel(kernel)
     n = int(x.shape[0])
     k = int(grid.shape[0])

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.grid import ensure_bandwidth_grid
 from repro.exceptions import ValidationError
 from repro.kernels import Kernel, get_kernel
 from repro.obs.tracer import current_tracer
@@ -314,7 +315,7 @@ def cv_scores_fastgrid(
     out-of-core backends at any block size.
     """
     x, y = check_paired_samples(x, y)
-    grid = ensure_bandwidths(bandwidths)
+    grid = ensure_bandwidth_grid(bandwidths)
     kern = require_fast_grid_kernel(kernel)
     n = x.shape[0]
     rows = chunk_rows or suggest_chunk_rows(
@@ -329,7 +330,7 @@ def cv_scores_fastgrid(
         if not tracer.enabled:
             for sl in chunk_slices(n, rows):
                 contrib = fastgrid_row_contributions(
-                    x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
+                    x, y, grid, kern.name, sl.start, sl.stop, dtype
                 )
                 fold_rows(contrib, sq_sums)
         else:
@@ -340,7 +341,7 @@ def cv_scores_fastgrid(
             comp = np.zeros_like(sq_sums)
             for sl in chunk_slices(n, rows):
                 contrib = fastgrid_row_contributions(
-                    x, y, grid.astype(float), kern.name, sl.start, sl.stop, dtype
+                    x, y, grid, kern.name, sl.start, sl.stop, dtype
                 )
                 for row in contrib:
                     acc = sq_sums + row

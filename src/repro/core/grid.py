@@ -22,7 +22,12 @@ import numpy as np
 from repro.exceptions import BandwidthGridError
 from repro.utils.validation import as_float_array, check_positive_int, ensure_bandwidths
 
-__all__ = ["BandwidthGrid", "default_grid", "MAX_CONSTANT_MEMORY_BANDWIDTHS"]
+__all__ = [
+    "BandwidthGrid",
+    "default_grid",
+    "ensure_bandwidth_grid",
+    "MAX_CONSTANT_MEMORY_BANDWIDTHS",
+]
 
 #: Paper §IV-A: the typical GPU constant-memory cache working set is 8 KB,
 #: which holds 2,048 float32 bandwidths — the hard cap on grid size for the
@@ -135,3 +140,16 @@ class BandwidthGrid:
 def default_grid(x: np.ndarray, k: int = 50) -> BandwidthGrid:
     """Shorthand for :meth:`BandwidthGrid.for_sample` with the paper's k=50."""
     return BandwidthGrid.for_sample(x, k)
+
+
+def ensure_bandwidth_grid(bandwidths: "np.ndarray | BandwidthGrid") -> np.ndarray:
+    """Validated contiguous float64 grid array from any grid-like input.
+
+    The one entry point for sweep backends taking raw bandwidth input:
+    ``ensure_bandwidths`` already returns a contiguous float64 array, so
+    no further ``astype`` is needed (or wanted — a same-dtype cast is a
+    dead full-array copy, which repro-lint flags as DTY003).
+    """
+    if isinstance(bandwidths, BandwidthGrid):
+        return bandwidths.values
+    return ensure_bandwidths(bandwidths)

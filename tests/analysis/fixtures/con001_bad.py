@@ -1,0 +1,14 @@
+# lint-fixture: rel=parallel/segment_case.py expect=CON001
+"""Deliberate violation: segment cleanup only on the straight-line path
+— the first exception strands the name in /dev/shm."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def scratch_segment(payload):
+    seg = SharedMemory(name="repro-shm-scratch", create=True, size=len(payload))
+    seg.buf[: len(payload)] = payload
+    data = bytes(seg.buf[: len(payload)])
+    seg.close()
+    seg.unlink()
+    return data

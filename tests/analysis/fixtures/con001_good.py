@@ -1,0 +1,28 @@
+# lint-fixture: rel=parallel/segment_case.py expect=none
+"""Error-path cleanup (try/finally), plus the two exempt shapes:
+worker-side attach (no create → no unlink duty) and ownership handoff
+(the segment is returned for the caller to manage)."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def scratch_segment(payload):
+    seg = SharedMemory(name="repro-shm-scratch", create=True, size=len(payload))
+    try:
+        seg.buf[: len(payload)] = payload
+        return bytes(seg.buf[: len(payload)])
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def attach_segment(name):
+    seg = SharedMemory(name=name)
+    data = bytes(seg.buf[:8])
+    seg.close()
+    return data
+
+
+def open_segment(name, nbytes):
+    seg = SharedMemory(name=name, create=True, size=nbytes)
+    return seg

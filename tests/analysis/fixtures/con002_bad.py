@@ -1,0 +1,17 @@
+# lint-fixture: rel=parallel/pooluse_case.py expect=CON002
+"""Deliberate violation: close only on the happy path — an exception in
+the sweep strands the forked workers until interpreter exit."""
+
+from repro.parallel.pool import WorkerPool
+
+
+def _work(start, stop):
+    return stop - start
+
+
+def sweep(n):
+    pool = WorkerPool(2)
+    pool.open()
+    parts = pool.map_over_blocks(_work, n)
+    pool.close()
+    return parts

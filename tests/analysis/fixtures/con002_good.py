@@ -1,0 +1,23 @@
+# lint-fixture: rel=parallel/pooluse_case.py expect=none
+"""The two sanctioned lifecycles: with-managed, and the shared-or-owned
+idiom with cleanup in a finally."""
+
+from repro.parallel.pool import WorkerPool
+
+
+def _work(start, stop):
+    return stop - start
+
+
+def sweep(n):
+    with WorkerPool(2) as pool:
+        return pool.map_over_blocks(_work, n)
+
+
+def sweep_shared(pool_arg, n):
+    active = pool_arg or WorkerPool(2)
+    try:
+        return active.map_over_blocks(_work, n)
+    finally:
+        if active is not pool_arg:
+            active.close()

@@ -1,0 +1,34 @@
+# lint-fixture: rel=parallel/forkorder_case.py expect=CON003
+"""Deliberate violations: a telemetry thread started before the pool
+forks (the child inherits its lock state frozen), and a blocking join
+while holding a lock."""
+
+import threading
+
+from repro.parallel.pool import WorkerPool
+
+_lock = threading.Lock()
+
+
+def _drain():
+    return None
+
+
+def _work(start, stop):
+    return stop - start
+
+
+def telemetry_then_fork(n):
+    drain = threading.Thread(target=_drain)
+    drain.start()
+    pool = WorkerPool(2)
+    try:
+        return pool.map_over_blocks(_work, n)
+    finally:
+        pool.close()
+        drain.join()
+
+
+def stop_worker(worker):
+    with _lock:
+        worker.join()

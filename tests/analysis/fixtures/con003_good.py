@@ -1,0 +1,37 @@
+# lint-fixture: rel=parallel/forkorder_case.py expect=none
+"""Fork first, thread after; the lock protects only the state read and
+is released before the blocking join."""
+
+import threading
+
+from repro.parallel.pool import WorkerPool
+
+_lock = threading.Lock()
+
+
+def _drain():
+    return None
+
+
+def _work(start, stop):
+    return stop - start
+
+
+def fork_then_telemetry(n):
+    pool = WorkerPool(2)
+    try:
+        drain = threading.Thread(target=_drain)
+        drain.start()
+        parts = pool.map_over_blocks(_work, n)
+        drain.join()
+        return parts
+    finally:
+        pool.close()
+
+
+def stop_worker(worker):
+    with _lock:
+        alive = worker.is_alive()
+    if alive:
+        worker.join()
+    return alive

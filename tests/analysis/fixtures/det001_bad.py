@@ -1,0 +1,12 @@
+# lint-fixture: rel=parallel/fanin_case.py expect=DET001
+"""Deliberate violation: set iteration (hash order) feeding the strict
+row-order fold — the float bit pattern now varies per run."""
+
+from repro.utils.numeric import fold_rows
+
+
+def fan_in(parts, total):
+    remaining = set(parts)
+    for part in remaining:
+        fold_rows(part, total)
+    return total

@@ -1,0 +1,16 @@
+# lint-fixture: rel=parallel/fanin_case.py expect=none
+"""Fold inputs arrive in index order; the one unordered fold is over
+provably-integer byte counts, which add exactly in any order."""
+
+from repro.utils.numeric import compensated_sum, fold_rows
+
+
+def fan_in(parts, total):
+    for index in sorted(parts):
+        fold_rows(parts[index], total)
+    return total
+
+
+def total_bytes(arrays):
+    total, _carry = compensated_sum(a.nbytes for a in set(arrays))
+    return total

@@ -1,0 +1,12 @@
+# lint-fixture: rel=parallel/collect_case.py expect=DET002
+"""Deliberate violation: completion-order collection — scheduler noise
+becomes data order for everything downstream."""
+
+from concurrent.futures import as_completed
+
+
+def collect(futures):
+    results = []
+    for fut in as_completed(futures):
+        results.append(fut.result())
+    return results

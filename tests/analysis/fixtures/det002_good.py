@@ -1,0 +1,7 @@
+# lint-fixture: rel=parallel/collect_case.py expect=none
+"""Ordered collection: results come back in submission order."""
+
+
+def collect(executor, work, items):
+    ordered = executor.map(work, items)
+    return list(ordered)

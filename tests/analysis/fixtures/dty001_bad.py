@@ -1,0 +1,9 @@
+# lint-fixture: rel=core/precision_case.py expect=DTY001
+"""Deliberate violation: a provably-float64 value narrowed mid-pipeline."""
+
+import numpy as np
+
+
+def shrink(values):
+    wide = np.asarray(values, dtype=np.float64)
+    return wide.astype(np.float32)

@@ -1,0 +1,14 @@
+# lint-fixture: rel=core/precision_case.py expect=none
+"""Precision chosen at the boundary: the source dtype is the caller's
+business (unknown here), so a float32 request is an explicit opt-in,
+not silent narrowing."""
+
+import numpy as np
+
+
+def to_single(values):
+    return np.asarray(values, dtype=np.float32)
+
+
+def prepare(values, dtype="float64"):
+    return np.asarray(values, dtype=dtype)

@@ -1,0 +1,12 @@
+# lint-fixture: rel=core/accumulate_case.py expect=DTY002
+"""Deliberate violation: float32 rows folded into a float64 total."""
+
+import numpy as np
+
+
+def accumulate(parts):
+    single = np.asarray(parts, dtype=np.float32)
+    total = np.zeros(4, dtype=np.float64)
+    for row in single:
+        total += row
+    return total

@@ -1,0 +1,12 @@
+# lint-fixture: rel=core/accumulate_case.py expect=none
+"""Every term enters the accumulation at one agreed width."""
+
+import numpy as np
+
+
+def accumulate(parts):
+    rows = np.asarray(parts, dtype=np.float64)
+    total = np.zeros(4, dtype=np.float64)
+    for row in rows:
+        total += row
+    return total

@@ -1,0 +1,15 @@
+# lint-fixture: rel=core/gridcast_case.py expect=DTY003
+"""Deliberate violation: the pre-PR-6 backend idiom — a validated
+float64 grid re-cast to the dtype it already has (a dead full-array
+copy the dataflow engine proves through the helper's summary)."""
+
+import numpy as np
+
+
+def _ensure_grid(values):
+    return np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+
+
+def sweep(values):
+    grid = _ensure_grid(values).astype(float)
+    return grid

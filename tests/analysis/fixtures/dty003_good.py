@@ -1,0 +1,18 @@
+# lint-fixture: rel=core/gridcast_case.py expect=none
+"""The validated value is used directly; casts only happen where the
+target dtype is genuinely a parameter (unknowable, so not redundant)."""
+
+import numpy as np
+
+
+def _ensure_grid(values):
+    return np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+
+
+def sweep(values):
+    grid = _ensure_grid(values)
+    return grid
+
+
+def as_typed(values, dtype):
+    return _ensure_grid(values).astype(dtype, copy=False)

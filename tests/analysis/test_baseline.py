@@ -1,0 +1,206 @@
+"""Baseline ratchet: multiset matching, persistence, CLI integration."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError, partition
+from repro.analysis.cli import main as lint_main
+from repro.analysis.findings import Finding
+
+
+def finding(
+    path: str = "pkg/mod.py",
+    line: int = 10,
+    rule: str = "NUM004",
+    message: str = "allocation without dtype",
+) -> Finding:
+    return Finding(path=path, line=line, col=0, rule_id=rule, message=message)
+
+
+class TestPartition:
+    def test_baselined_finding_is_accepted(self) -> None:
+        f = finding()
+        new, accepted = partition([f], Baseline.from_findings([f]))
+        assert new == [] and accepted == [f]
+
+    def test_unknown_finding_is_new(self) -> None:
+        new, accepted = partition([finding()], Baseline())
+        assert len(new) == 1 and accepted == []
+
+    def test_line_shift_does_not_resurface(self) -> None:
+        """Keys are (path, rule, message) — an edit that moves the finding
+        up or down the file must not break the ratchet."""
+        base = Baseline.from_findings([finding(line=10)])
+        new, accepted = partition([finding(line=99)], base)
+        assert new == [] and len(accepted) == 1
+
+    def test_growth_within_a_bucket_is_new(self) -> None:
+        """Two identical findings against one baselined entry: multiset
+        matching consumes the entry once and reports one new."""
+        base = Baseline.from_findings([finding()])
+        new, accepted = partition([finding(line=10), finding(line=20)], base)
+        assert len(new) == 1 and len(accepted) == 1
+
+    def test_different_rule_same_line_is_new(self) -> None:
+        base = Baseline.from_findings([finding(rule="NUM004")])
+        new, _ = partition([finding(rule="DTY003", message="cast")], base)
+        assert len(new) == 1
+
+    def test_shrinking_debt_is_fine(self) -> None:
+        base = Baseline.from_findings([finding(), finding(line=20)])
+        new, accepted = partition([finding()], base)
+        assert new == [] and len(accepted) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path: Path) -> None:
+        base = Baseline.from_findings(
+            [finding(), finding(line=20), finding(rule="DTY001", message="m")]
+        )
+        target = tmp_path / "baseline.json"
+        base.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == base.entries
+        assert loaded.total == 3
+
+    def test_file_is_sorted_versioned_newline_terminated(
+        self, tmp_path: Path
+    ) -> None:
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings([finding(path="b.py"), finding(path="a.py")]).save(
+            target
+        )
+        text = target.read_text()
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert payload["version"] == 1
+        paths = [entry["path"] for entry in payload["findings"]]
+        assert paths == sorted(paths)
+
+    def test_missing_file_raises(self, tmp_path: Path) -> None:
+        with pytest.raises(BaselineError, match="cannot read"):
+            Baseline.load(tmp_path / "absent.json")
+
+    def test_invalid_json_raises(self, tmp_path: Path) -> None:
+        target = tmp_path / "bad.json"
+        target.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load(target)
+
+    def test_wrong_shape_raises(self, tmp_path: Path) -> None:
+        target = tmp_path / "shape.json"
+        target.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(BaselineError, match="unrecognised shape"):
+            Baseline.load(target)
+
+    def test_malformed_entry_raises(self, tmp_path: Path) -> None:
+        target = tmp_path / "entry.json"
+        target.write_text('{"version": 1, "findings": [{"path": "x"}]}')
+        with pytest.raises(BaselineError, match="malformed entry"):
+            Baseline.load(target)
+
+
+BAD = "import numpy as np\na = np.empty(3)\n"
+
+
+class TestCli:
+    @pytest.fixture()
+    def bad_file(self, tmp_path: Path) -> Path:
+        target = tmp_path / "bad.py"
+        target.write_text(BAD)
+        return target
+
+    def test_update_baseline_writes_and_exits_zero(
+        self, bad_file: Path, tmp_path: Path, capsys
+    ) -> None:
+        ratchet = tmp_path / "lint-baseline.json"
+        assert lint_main(
+            ["--update-baseline", str(ratchet), str(bad_file)]
+        ) == 0
+        assert "1 finding(s) recorded" in capsys.readouterr().out
+        assert Baseline.load(ratchet).total == 1
+
+    def test_baselined_run_exits_zero(
+        self, bad_file: Path, tmp_path: Path, capsys
+    ) -> None:
+        ratchet = tmp_path / "lint-baseline.json"
+        lint_main(["--update-baseline", str(ratchet), str(bad_file)])
+        capsys.readouterr()
+        assert lint_main(["--baseline", str(ratchet), str(bad_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+        assert "1 baselined finding(s) suppressed" in out
+
+    def test_new_finding_still_fails(
+        self, bad_file: Path, tmp_path: Path, capsys
+    ) -> None:
+        ratchet = tmp_path / "lint-baseline.json"
+        lint_main(["--update-baseline", str(ratchet), str(bad_file)])
+        bad_file.write_text(BAD + "b = np.zeros(4)\n")
+        assert lint_main(["--baseline", str(ratchet), str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert "b = " not in out  # reports the finding, not the source
+        assert "NUM004" in out
+
+    def test_sarif_carries_baseline_states(
+        self, bad_file: Path, tmp_path: Path, capsys
+    ) -> None:
+        ratchet = tmp_path / "lint-baseline.json"
+        lint_main(["--update-baseline", str(ratchet), str(bad_file)])
+        bad_file.write_text(BAD + "b = np.zeros(4)\n")
+        capsys.readouterr()
+        assert (
+            lint_main(
+                [
+                    "--baseline",
+                    str(ratchet),
+                    "--format",
+                    "sarif",
+                    str(bad_file),
+                ]
+            )
+            == 1
+        )
+        doc = json.loads(capsys.readouterr().out)
+        states = sorted(
+            res["baselineState"] for res in doc["runs"][0]["results"]
+        )
+        assert states == ["new", "unchanged"]
+
+    def test_mutually_exclusive_flags_error(
+        self, bad_file: Path, tmp_path: Path, capsys
+    ) -> None:
+        with pytest.raises(SystemExit):
+            lint_main(
+                [
+                    "--baseline",
+                    str(tmp_path / "a.json"),
+                    "--update-baseline",
+                    str(tmp_path / "b.json"),
+                    str(bad_file),
+                ]
+            )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unreadable_baseline_errors(
+        self, bad_file: Path, tmp_path: Path, capsys
+    ) -> None:
+        with pytest.raises(SystemExit):
+            lint_main(
+                ["--baseline", str(tmp_path / "absent.json"), str(bad_file)]
+            )
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_output_file(self, bad_file: Path, tmp_path: Path) -> None:
+        report = tmp_path / "lint.sarif"
+        assert (
+            lint_main(
+                ["--format", "sarif", "-o", str(report), str(bad_file)]
+            )
+            == 1
+        )
+        assert json.loads(report.read_text())["version"] == "2.1.0"

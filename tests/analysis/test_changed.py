@@ -1,0 +1,108 @@
+"""``--changed``: git-dirty filtering for the pre-commit surface."""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.changed import GitError, changed_files
+from repro.analysis.cli import main as lint_main
+
+BAD = "import numpy as np\na = np.empty(3)\n"
+GOOD = "import numpy as np\na = np.empty(3, dtype=np.float64)\n"
+
+
+def git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture()
+def repo(tmp_path: Path, monkeypatch) -> Path:
+    git(tmp_path, "init", "-q")
+    (tmp_path / "committed_bad.py").write_text(BAD)
+    (tmp_path / "committed_good.py").write_text(GOOD)
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestChangedFiles:
+    def test_clean_tree_is_empty(self, repo: Path) -> None:
+        assert changed_files() == set()
+
+    def test_untracked_and_modified_are_reported(self, repo: Path) -> None:
+        (repo / "fresh.py").write_text(GOOD)
+        (repo / "committed_good.py").write_text(GOOD + "\n# touched\n")
+        paths = {p.name for p in changed_files()}
+        assert paths == {"fresh.py", "committed_good.py"}
+
+    def test_staged_edit_is_reported(self, repo: Path) -> None:
+        (repo / "committed_bad.py").write_text(BAD + "\n")
+        git(repo, "add", "committed_bad.py")
+        assert {p.name for p in changed_files()} == {"committed_bad.py"}
+
+    def test_outside_a_repo_raises(self, tmp_path: Path, monkeypatch) -> None:
+        outside = tmp_path / "not-a-repo"
+        outside.mkdir()
+        monkeypatch.chdir(outside)
+        with pytest.raises(GitError):
+            changed_files()
+
+
+class TestCliChanged:
+    def test_committed_findings_are_filtered_out(self, repo: Path, capsys) -> None:
+        """committed_bad.py has a real NUM004, but it isn't dirty — a
+        pre-commit run must pass: the gate blocks only *your* diff."""
+        assert lint_main(["--changed", str(repo)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_dirty_bad_file_fails(self, repo: Path, capsys) -> None:
+        (repo / "new_bad.py").write_text(BAD)
+        assert lint_main(["--changed", str(repo)]) == 1
+        out = capsys.readouterr().out
+        assert "new_bad.py" in out
+        assert "committed_bad.py" not in out
+
+    def test_dirty_good_file_passes(self, repo: Path, capsys) -> None:
+        (repo / "new_good.py").write_text(GOOD)
+        assert lint_main(["--changed", str(repo)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_without_changed_everything_reports(self, repo: Path, capsys) -> None:
+        assert lint_main([str(repo)]) == 1
+        assert "committed_bad.py" in capsys.readouterr().out
+
+    def test_changed_outside_repo_errors(
+        self, tmp_path: Path, monkeypatch, capsys
+    ) -> None:
+        outside = tmp_path / "elsewhere"
+        outside.mkdir()
+        (outside / "f.py").write_text(GOOD)
+        monkeypatch.chdir(outside)
+        with pytest.raises(SystemExit):
+            lint_main(["--changed", str(outside)])
+        assert "git" in capsys.readouterr().err
+
+    def test_changed_composes_with_baseline(self, repo: Path, capsys) -> None:
+        """--changed narrows first, then the ratchet applies to what's left."""
+        (repo / "new_bad.py").write_text(BAD)
+        ratchet = repo / "baseline.json"
+        assert (
+            lint_main(
+                ["--changed", "--update-baseline", str(ratchet), str(repo)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            lint_main(["--changed", "--baseline", str(ratchet), str(repo)]) == 0
+        )
+        assert "baselined finding(s) suppressed" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Whole-program behaviours: broken files, call-graph cycles,
+cross-module dtype summaries."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintEngine
+from repro.analysis.findings import SYNTAX_RULE_ID
+from repro.analysis.project import ProjectIndex, module_name_for
+
+
+class TestBrokenFiles:
+    def test_index_records_syntax_errors_without_raising(self) -> None:
+        index = ProjectIndex.build(
+            [
+                ("a.py", "a.py", "def f(:\n"),
+                ("b.py", "b.py", "def g():\n    return 1\n"),
+            ]
+        )
+        assert set(index.broken) == {"a.py"}
+        assert "b.g" in index.functions
+
+    def test_lint_paths_reports_e901_and_keeps_linting(
+        self, tmp_path: Path
+    ) -> None:
+        """One unparsable file must not take down the project pass: the
+        broken module gets its E901 and every other module still gets
+        its real findings."""
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "bad.py").write_text("import numpy as np\na = np.empty(3)\n")
+        findings = LintEngine().lint_paths([tmp_path])
+        by_rule = {f.rule_id: f for f in findings}
+        assert set(by_rule) == {SYNTAX_RULE_ID, "NUM004"}
+        assert by_rule[SYNTAX_RULE_ID].path.endswith("broken.py")
+        assert by_rule["NUM004"].path.endswith("bad.py")
+
+
+class TestCallGraphCycles:
+    RECURSIVE = (
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return g(x)\n"
+        "def g(x):\n"
+        "    return f(x)\n"
+        "def h():\n"
+        "    a = np.zeros(3, dtype=np.float64)\n"
+        "    b = f(a)\n"
+        "    return b.astype(np.float64)\n"
+    )
+
+    def test_mutual_recursion_terminates(self) -> None:
+        """Summaries for a cycle resolve to UNKNOWN (no false DTY003 on
+        the astype of an unknowable value) instead of recursing forever."""
+        findings = LintEngine(select=["DTY003"]).lint_source(
+            self.RECURSIVE, rel="core/cycle.py"
+        )
+        assert findings == []
+
+    def test_self_recursion_terminates(self) -> None:
+        src = (
+            "def f(x):\n"
+            "    return f(x)\n"
+        )
+        assert LintEngine().lint_source(src, rel="core/selfloop.py") == []
+
+    def test_cycle_edges_are_in_the_call_graph(self) -> None:
+        index = ProjectIndex.build([("m.py", "m.py", self.RECURSIVE)])
+        assert "m.g" in index.call_graph["m.f"]
+        assert "m.f" in index.call_graph["m.g"]
+        assert "m.f" in index.callers["m.g"]
+
+
+class TestCrossModuleSummaries:
+    def test_redundant_cast_proven_through_another_module(
+        self, tmp_path: Path
+    ) -> None:
+        """The tentpole scenario: ``helper.mk()`` provably returns
+        float64, so ``mk().astype(np.float64)`` in a *different module*
+        is a dead copy — exactly what single-module linting cannot see."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "helper.py").write_text(
+            "import numpy as np\n"
+            "def mk():\n"
+            "    return np.zeros(3, dtype=np.float64)\n"
+        )
+        (pkg / "use.py").write_text(
+            "import numpy as np\n"
+            "from repro.core.helper import mk\n"
+            "def run():\n"
+            "    return mk().astype(np.float64)\n"
+        )
+        findings = LintEngine(select=["DTY003"]).lint_paths([tmp_path])
+        assert [f.rule_id for f in findings] == ["DTY003"]
+        assert findings[0].path.endswith("use.py")
+
+    def test_no_finding_when_helper_dtype_differs(self, tmp_path: Path) -> None:
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "helper.py").write_text(
+            "import numpy as np\n"
+            "def mk():\n"
+            "    return np.zeros(3, dtype=np.float32)\n"
+        )
+        (pkg / "use.py").write_text(
+            "import numpy as np\n"
+            "from repro.core.helper import mk\n"
+            "def run():\n"
+            "    return mk().astype(np.float64)\n"
+        )
+        assert LintEngine(select=["DTY003"]).lint_paths([tmp_path]) == []
+
+
+def test_module_name_for_anchors() -> None:
+    assert module_name_for("x/src/repro/core/fastgrid.py") == "repro.core.fastgrid"
+    assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+    assert module_name_for("/tmp/q/snippet.py") == "snippet"

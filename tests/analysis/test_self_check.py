@@ -15,17 +15,28 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
 
 
-def test_at_least_six_rules_registered() -> None:
+def test_all_rule_families_registered() -> None:
     rules = default_rules()
-    assert len(rules) >= 6
+    assert len(rules) >= 17
     ids = {rule.rule_id for rule in rules}
     assert {
+        # single-module families (PRs 1-5)
         "NUM001",
         "NUM002",
         "NUM003",
         "NUM004",
         "PAR001",
         "GPU001",
+        "ROB001",
+        # whole-program dataflow families (PR 6)
+        "DTY001",
+        "DTY002",
+        "DTY003",
+        "DET001",
+        "DET002",
+        "CON001",
+        "CON002",
+        "CON003",
     } <= ids
 
 
@@ -44,3 +55,16 @@ def test_cli_exits_zero_on_src(capsys) -> None:
 
     assert main([str(SRC)]) == 0
     assert "0 findings" in capsys.readouterr().out
+
+
+def test_whole_program_pass_stays_inside_runtime_budget() -> None:
+    """The dataflow engine (project index + lazy summaries) must stay
+    usable as a pre-commit hook: one full pass over src/ in well under
+    30 s.  A superlinear regression in summary memoisation or the call
+    graph shows up here long before it annoys anyone at the prompt."""
+    import time
+
+    start = time.perf_counter()
+    LintEngine().lint_paths([SRC])
+    elapsed = time.perf_counter() - start
+    assert elapsed < 30.0, f"lint of src/ took {elapsed:.1f}s (budget: 30s)"

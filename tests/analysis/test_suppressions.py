@@ -71,3 +71,76 @@ def test_index_parsing() -> None:
     index = SuppressionIndex.from_source(src)
     assert index.file_wide == {"NUM003"}
     assert index.by_line == {2: {"NUM001", "PAR001"}}
+
+
+MIXED = (
+    "import numpy as np\n"
+    "def f(values):\n"
+    "    a = np.empty(3){num_sup}\n"
+    "    b = np.zeros(3, dtype=np.float64)\n"
+    "    return b.astype(np.float64){dty_sup}\n"
+)
+
+
+def _mixed(num_sup: str = "", dty_sup: str = "") -> str:
+    return MIXED.format(num_sup=num_sup, dty_sup=dty_sup)
+
+
+def test_old_and_new_families_fire_side_by_side() -> None:
+    findings = LintEngine(select=["NUM004", "DTY003"]).lint_source(
+        _mixed(), rel="core/mixed.py"
+    )
+    assert [f.rule_id for f in findings] == ["NUM004", "DTY003"]
+
+
+def test_suppressing_new_family_keeps_old_family() -> None:
+    findings = LintEngine(select=["NUM004", "DTY003"]).lint_source(
+        _mixed(dty_sup="  # repro-lint: disable=DTY003 - proven copy"),
+        rel="core/mixed.py",
+    )
+    assert [f.rule_id for f in findings] == ["NUM004"]
+
+
+def test_suppressing_old_family_keeps_new_family() -> None:
+    findings = LintEngine(select=["NUM004", "DTY003"]).lint_source(
+        _mixed(num_sup="  # repro-lint: disable=NUM004"),
+        rel="core/mixed.py",
+    )
+    assert [f.rule_id for f in findings] == ["DTY003"]
+
+
+def test_file_wide_disable_of_new_family_only() -> None:
+    src = "# repro-lint: disable-file=DTY003\n" + _mixed()
+    findings = LintEngine(select=["NUM004", "DTY003"]).lint_source(
+        src, rel="core/mixed.py"
+    )
+    assert [f.rule_id for f in findings] == ["NUM004"]
+
+
+def test_one_comment_spanning_both_families() -> None:
+    src = (
+        "import numpy as np\n"
+        "def f():\n"
+        "    b = np.zeros(3, dtype=np.float64)\n"
+        "    return np.empty(3), b.astype(np.float64)"
+        "  # repro-lint: disable=NUM004,DTY003\n"
+    )
+    assert (
+        LintEngine(select=["NUM004", "DTY003"]).lint_source(
+            src, rel="core/mixed.py"
+        )
+        == []
+    )
+
+
+def test_concurrency_rule_suppression() -> None:
+    src = (
+        "from repro.parallel.pool import WorkerPool\n"
+        "def run():\n"
+        "    pool = WorkerPool(2)  # repro-lint: disable=CON002 - caller owns\n"
+        "    pool.map(len, [])\n"
+    )
+    assert (
+        LintEngine(select=["CON002"]).lint_source(src, rel="parallel/use.py")
+        == []
+    )
