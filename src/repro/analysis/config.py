@@ -54,10 +54,14 @@ class LintConfig:
     #: the two serving boundary modules convert every fault into a typed
     #: per-request outcome (an HTTP status / a failed future) instead of
     #: crashing the shared event loop.
+    #: The distributed coordinator is the fleet's classification layer:
+    #: dispatch threads route arbitrary transport failures into the
+    #: delivery queue for code-based retry/degrade decisions.
     resilience_modules: tuple[str, ...] = (
         "resilience/*.py",
         "serving/scheduler.py",
         "serving/server.py",
+        "distributed/coordinator.py",
     )
     #: SRV001: event-loop modules where blocking calls stall all requests.
     serving_modules: tuple[str, ...] = ("serving/*.py",)
@@ -174,6 +178,24 @@ class LintConfig:
         "socket.create_connection",
         "requests.get",
         "requests.post",
+    )
+
+    # -- ROB002: network calls that must carry an explicit timeout --------
+    #: Canonical dotted names of socket/HTTP client entry points that
+    #: block forever by default.  Every call must pass ``timeout=`` (any
+    #: value, including an explicit None — the point is that unbounded
+    #: blocking is a *decision*, not a default).
+    timeout_required_calls: tuple[str, ...] = (
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+        "xmlrpc.client.ServerProxy",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
     )
 
     # -- GPU001: nondeterminism sources banned on the device --------------

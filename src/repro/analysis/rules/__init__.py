@@ -23,7 +23,7 @@ from repro.analysis.rules.hotpath import LoopAllocationRule
 from repro.analysis.rules.numeric import ExplicitDtypeRule, FloatEqualityRule
 from repro.analysis.rules.obs import LoopTracingRule
 from repro.analysis.rules.parallel import PicklableWorkUnitRule
-from repro.analysis.rules.robustness import BroadExceptRule
+from repro.analysis.rules.robustness import BroadExceptRule, NoTimeoutRule
 from repro.analysis.rules.serving import AsyncBlockingCallRule
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "PicklableWorkUnitRule",
     "DeviceDeterminismRule",
     "BroadExceptRule",
+    "NoTimeoutRule",
     "AsyncBlockingCallRule",
     "SilentNarrowingRule",
     "MixedAccumulationRule",

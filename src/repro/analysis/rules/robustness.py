@@ -1,10 +1,16 @@
-"""Robustness hygiene: ROB001 (no swallowing broad exceptions).
+"""Robustness hygiene: ROB001 (broad excepts), ROB002 (unbounded I/O).
 
 The resilience layer is the one place allowed to catch-and-classify
 arbitrary failures: it routes them by their stable ``REPRO_*`` error code
 into retry, degrade, or propagate.  Anywhere else, a broad handler that
 does not re-raise turns a typed, actionable failure into a silent wrong
 answer — the worst outcome for a numerical reproduction.
+
+ROB002 guards the other half of the fault model: stdlib socket/HTTP
+clients block *forever* by default, so one silent worker would hang the
+distributed coordinator instead of surfacing the typed
+``REPRO_SERVE_TIMEOUT`` the lease machinery classifies on.  Every
+network call must make its deadline explicit.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from repro.analysis.engine import ModuleContext
 from repro.analysis.findings import Finding
 from repro.analysis.rules.base import Rule, register_rule
 
-__all__ = ["BroadExceptRule"]
+__all__ = ["BroadExceptRule", "NoTimeoutRule"]
 
 #: Exception names that catch (nearly) everything.
 _BROAD_NAMES = frozenset({"Exception", "BaseException"})
@@ -99,3 +105,46 @@ class BroadExceptRule(Rule):
                 continue
             stack.extend(ast.iter_child_nodes(child))
         return False
+
+
+@register_rule
+class NoTimeoutRule(Rule):
+    """ROB002 — socket/HTTP client call without an explicit timeout.
+
+    The stdlib network clients (``socket.create_connection``,
+    ``urllib.request.urlopen``, ``http.client.HTTPConnection``…) block
+    indefinitely when no timeout is given.  In this codebase every such
+    call sits on a fault boundary — the distributed RPC client, the
+    fleet heartbeat, the serving smoke tooling — where "hangs forever"
+    must instead become a typed ``REPRO_SERVE_TIMEOUT`` that the lease
+    and retry machinery can classify.  Passing ``timeout=None``
+    explicitly is allowed: the rule bans the silent default, not an
+    audited decision to wait.
+    """
+
+    rule_id = "ROB002"
+    summary = "network client call without an explicit timeout"
+    rationale = (
+        "Default-blocking socket/HTTP calls turn a silent worker into a "
+        "hung coordinator. A call that cannot complete must surface a "
+        "typed REPRO_SERVE_TIMEOUT for the lease/retry machinery, so "
+        "every network client call states its deadline explicitly."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        required = ctx.config.timeout_required_calls
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name is None or name not in required:
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() without an explicit timeout blocks forever on "
+                "a silent peer; pass timeout= (timeout=None is accepted "
+                "as a deliberate choice)",
+            )

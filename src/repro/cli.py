@@ -12,6 +12,8 @@ Subcommands regenerate the paper's artifacts and inspect the library:
   Chrome trace-event JSON (load in chrome://tracing or Perfetto)
 * ``serve``  — JSON-over-HTTP bandwidth-selection service (fingerprint
   cache, micro-batched predict, /metrics)
+* ``workers`` — run a local fleet of sweep workers for
+  ``select --backend distributed`` (or probe a running fleet)
 * ``info``   — registered kernels, backends, devices, programs, serving
   cache status
 * ``lint``   — project-aware static analysis (also ``repro-lint``)
@@ -108,7 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled"],
+        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled", "distributed"],
+    )
+    sel.add_argument(
+        "--workers",
+        type=str,
+        default=None,
+        metavar="N|HOST:PORT,...",
+        help="fleet for --backend distributed: a worker count to spawn "
+        "locally, or comma-separated endpoints of a running fleet "
+        "(default: $REPRO_WORKERS, else lossless local degradation)",
     )
     sel.add_argument("--seed", type=int, default=0)
     sel.add_argument(
@@ -192,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled"],
+        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled", "distributed"],
     )
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
@@ -232,7 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled"],
+        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled", "distributed"],
     )
     srv.add_argument(
         "--no-model",
@@ -256,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resilience",
         action="store_true",
         help="do not degrade failed selections down the backend chain",
+    )
+
+    wrk = sub.add_parser(
+        "workers",
+        help="run a local fleet of sweep workers (for --backend "
+        "distributed), or probe a running one",
+    )
+    wrk.add_argument(
+        "--count", type=int, default=2,
+        help="how many worker processes to spawn",
+    )
+    wrk.add_argument(
+        "--probe",
+        type=str,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="heartbeat the given endpoints instead of spawning; exit 0 "
+        "only if every worker answers /healthz",
     )
 
     sub.add_parser(
@@ -382,6 +411,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
         kwargs.update(n_bandwidths=args.k, backend=args.backend)
         if args.mem_budget is not None:
             kwargs["memory_budget"] = args.mem_budget
+        if args.backend == "distributed" and args.workers is not None:
+            kwargs["workers"] = args.workers
     wants_resilience = (
         args.resilient
         or args.resume is not None
@@ -407,16 +438,25 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
         kwargs["cache"] = ArtifactCache(args.cache_dir)
     result = select_bandwidth(x, y, method=method, kernel=args.kernel, **kwargs)
+    fleet_report = None
+    if method == "grid" and args.backend == "distributed":
+        from repro.distributed import last_fleet_report
+
+        fleet_report = last_fleet_report()
     if args.json:
         import json
 
         payload = result.to_dict()
         payload["scale_factor"] = bandwidth_to_scale(result.bandwidth, x)
+        if fleet_report is not None:
+            payload["fleet"] = fleet_report.to_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(result.summary())
     if result.resilience is not None:
         print(result.resilience.summary())
+    if fleet_report is not None:
+        print(fleet_report.summary())
     print(f"  scale factor  : {bandwidth_to_scale(result.bandwidth, x):.4f} "
           "(h / spread*n^-1/5, np convention)")
     return 0
@@ -501,8 +541,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.distributed import HttpFleet, LocalProcessFleet
+
+    if args.probe is not None:
+        endpoints = [p.strip() for p in args.probe.split(",") if p.strip()]
+        fleet = HttpFleet(endpoints)
+        fleet.heartbeat(timeout=2.0, miss_threshold=1)
+        for handle in fleet.handles:
+            state = "up" if handle.alive else "DOWN"
+            print(f"  {handle.transport.endpoint:<28} {state}")
+        live = fleet.live()
+        print(f"{len(live)}/{len(fleet.handles)} workers answering")
+        return 0 if len(live) == len(fleet.handles) else 1
+
+    import signal
+    import threading
+
+    fleet = LocalProcessFleet(args.count)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        endpoints = ",".join(h.transport.endpoint for h in fleet.handles)
+        for handle in fleet.handles:
+            print(f"  {handle.worker_id:<12} {handle.transport.endpoint}")
+        print(f"export REPRO_WORKERS={endpoints}")
+        print("fleet up; Ctrl-C to stop", flush=True)
+        stop.wait()
+    finally:
+        fleet.close()
+    print("fleet stopped; bye")
+    return 0
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     import repro.cuda_port  # noqa: F401 - registers the gpusim backend
+    import repro.distributed.backend  # noqa: F401 - registers "distributed"
     from repro.bench import PROGRAMS
     from repro.core import list_backends
     from repro.data import DGP_REGISTRY
@@ -578,6 +653,7 @@ _COMMANDS = {
     "select": _cmd_select,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "workers": _cmd_workers,
     "info": _cmd_info,
     "lint": _cmd_lint,
 }

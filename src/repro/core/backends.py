@@ -17,6 +17,10 @@ corresponds to one of the paper's execution substrates:
 ``gpusim``       the paper's CUDA program executed on the GPU
                  simulator (registered lazily by
                  :mod:`repro.cuda_port` to avoid an import cycle)
+``distributed``  the blockwise sweep leased out to a worker fleet
+                 over JSON-over-HTTP (registered lazily by
+                 :mod:`repro.distributed.backend`); byte-identical
+                 to ``blocked`` and degrades to it losslessly
 ===============  ==================================================
 
 Backends automatically fall back to the dense O(k·n²) evaluation for
@@ -65,16 +69,22 @@ def register_backend(name: str, backend: GridBackend, *, overwrite: bool = False
 
 
 def get_backend(name: str) -> GridBackend:
-    """Look up a backend, importing the GPU simulator port on demand."""
+    """Look up a backend, importing heavy subsystems on demand."""
     if name in ("gpusim", "gpusim-tiled") and name not in BACKEND_REGISTRY:
         # The CUDA port registers itself at import time.
         import repro.cuda_port  # noqa: F401
+    if name == "distributed" and name not in BACKEND_REGISTRY:
+        # The fleet coordinator registers itself at import time.
+        import repro.distributed.backend  # noqa: F401
 
     try:
         return BACKEND_REGISTRY[name]
     except KeyError:
         known = ", ".join(
-            sorted(set(BACKEND_REGISTRY) | {"gpusim", "gpusim-tiled"})
+            sorted(
+                set(BACKEND_REGISTRY)
+                | {"gpusim", "gpusim-tiled", "distributed"}
+            )
         )
         raise BackendError(f"unknown backend {name!r}; known: {known}") from None
 

@@ -1,0 +1,199 @@
+"""Deterministic network-fault injection for the fleet (chaos harness).
+
+The in-process twin of :mod:`repro.resilience.faults`, moved to the
+wire: a :class:`ChaosTransport` wraps a real transport and replays a
+seeded schedule of the faults a hostile network actually produces —
+
+==============  ========================================================
+``drop``        the request never reaches the worker
+                (``REPRO_DIST_UNREACHABLE``; nothing ran)
+``hang``        the worker accepts but never answers within the client
+                timeout (``REPRO_SERVE_TIMEOUT``; outcome unknown)
+``delay``       the work *runs* but the response arrives after a real
+                sleep — late enough to expire the lease, so the stale
+                epoch is discarded on arrival
+``duplicate``   the response is delivered twice (the second copy must
+                hit the at-most-once fold accounting)
+``corrupt``     one row value is perturbed after checksumming, so the
+                coordinator's verification must reject the payload
+``die``         the worker is dead from this call on — every later
+                request (heartbeats included) fails unreachable
+==============  ========================================================
+
+Like :class:`~repro.resilience.faults.FaultSpec`, triggers are
+*counter*-based: the Nth ``/compute`` call through this transport
+faults, regardless of wall clock or thread interleaving, so a chaos
+run replays bit-for-bit from its ``REPRO_CHAOS_SEED``.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import (
+    ServeTimeoutError,
+    ValidationError,
+    WorkerUnavailableError,
+)
+
+__all__ = ["NetFaultSpec", "ChaosTransport", "seeded_compute_faults", "FAULT_KINDS"]
+
+FAULT_KINDS = ("drop", "hang", "delay", "duplicate", "corrupt", "die")
+
+
+@dataclass(frozen=True)
+class NetFaultSpec:
+    """One deterministic network fault: which calls, which failure."""
+
+    kind: str
+    #: 1-based ``/compute`` call indices (per transport) that trigger.
+    at: tuple[int, ...] = ()
+    #: Real sleep for ``delay`` faults (seconds) — sized by the test to
+    #: overshoot the coordinator's lease deadline.
+    delay_s: float = 0.2
+    #: Cap on total triggers (None = every listed index).
+    max_triggers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown chaos kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if any(i < 1 for i in self.at):
+            raise ValidationError("chaos trigger indices are 1-based")
+
+
+class ChaosTransport:
+    """A transport that faults on schedule; everything else passes through."""
+
+    def __init__(
+        self,
+        inner: Any,
+        specs: tuple[NetFaultSpec, ...] | list[NetFaultSpec] = (),
+        *,
+        sleep: Any = time.sleep,
+    ) -> None:
+        self._inner = inner
+        self._specs = tuple(specs)
+        self._sleep = sleep
+        self.endpoint = getattr(inner, "endpoint", "chaos")
+        self._compute_calls = 0
+        self._triggers: dict[int, int] = {}
+        self._duplicates: list[dict[str, Any]] = []
+        self._dead = False
+        #: (kind, call index) of every fault fired, for test assertions.
+        self.fired: list[tuple[str, int]] = []
+
+    def _match(self) -> NetFaultSpec | None:
+        for idx, spec in enumerate(self._specs):
+            used = self._triggers.get(idx, 0)
+            if spec.max_triggers is not None and used >= spec.max_triggers:
+                continue
+            if self._compute_calls in spec.at:
+                self._triggers[idx] = used + 1
+                return spec
+        return None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        if self._dead:
+            raise WorkerUnavailableError(
+                f"worker {self.endpoint} is dead (chaos: die)"
+            )
+        if path != "/compute":
+            return self._inner.request(method, path, body, timeout=timeout)
+        self._compute_calls += 1
+        spec = self._match()
+        if spec is None:
+            return self._inner.request(method, path, body, timeout=timeout)
+        self.fired.append((spec.kind, self._compute_calls))
+        if spec.kind == "die":
+            self._dead = True
+            raise WorkerUnavailableError(
+                f"worker {self.endpoint} killed mid-block (chaos: die)"
+            )
+        if spec.kind == "drop":
+            raise WorkerUnavailableError(
+                f"request to {self.endpoint} dropped (chaos: drop)"
+            )
+        if spec.kind == "hang":
+            # The work may or may not have run; the client only knows
+            # the socket went quiet.  Run it so "unknown outcome" is
+            # real, then time out.
+            self._inner.request(method, path, body, timeout=timeout)
+            raise ServeTimeoutError(
+                f"worker {self.endpoint} hung past the client timeout "
+                "(chaos: hang)"
+            )
+        payload = None
+        if spec.kind == "delay":
+            self._sleep(spec.delay_s)
+            payload = self._inner.request(method, path, body, timeout=timeout)
+        elif spec.kind == "duplicate":
+            payload = self._inner.request(method, path, body, timeout=timeout)
+            self._duplicates.append(dict(payload))
+        elif spec.kind == "corrupt":
+            payload = self._inner.request(method, path, body, timeout=timeout)
+            payload = _corrupt_rows(payload)
+        assert payload is not None
+        return payload
+
+    def drain_duplicates(self) -> list[dict[str, Any]]:
+        extra, self._duplicates = self._duplicates, []
+        extra.extend(self._inner.drain_duplicates())
+        return extra
+
+
+def _corrupt_rows(payload: dict[str, Any]) -> dict[str, Any]:
+    """Perturb one row value *after* the worker checksummed its output."""
+    damaged = dict(payload)
+    rows = [list(row) for row in damaged.get("rows", [])]
+    if rows and rows[0]:
+        rows[0][0] = float(rows[0][0]) + 1.0 if rows[0][0] is not None else 1.0
+        damaged["rows"] = rows
+    else:
+        damaged["checksum"] = "0" * 64
+    return damaged
+
+
+def seeded_compute_faults(
+    seed: int,
+    worker_id: str,
+    *,
+    n_blocks: int,
+    kinds: tuple[str, ...] = ("drop", "hang", "duplicate", "corrupt"),
+    rate: float = 0.25,
+    delay_s: float = 0.2,
+) -> tuple[NetFaultSpec, ...]:
+    """A reproducible fault schedule for one worker's transport.
+
+    The schedule is a pure function of ``(seed, worker_id)`` — the same
+    crc32 site-seeding discipline as
+    :meth:`repro.resilience.faults.FaultInjector` — so a chaos matrix
+    over ``REPRO_CHAOS_SEED`` replays exactly.  Roughly ``rate`` of the
+    first ``n_blocks`` compute calls fault, each with a kind drawn
+    uniformly from ``kinds``.
+    """
+    site_seed = zlib.crc32(worker_id.encode()) & 0xFFFFFFFF
+    rng = np.random.default_rng(np.random.SeedSequence([int(seed), site_seed]))
+    per_kind: dict[str, list[int]] = {kind: [] for kind in kinds}
+    for call_index in range(1, n_blocks + 1):
+        if float(rng.random()) < rate:
+            kind = kinds[int(rng.integers(len(kinds)))]
+            per_kind[kind].append(call_index)
+    return tuple(
+        NetFaultSpec(kind=kind, at=tuple(indices), delay_s=delay_s)
+        for kind, indices in per_kind.items()
+        if indices
+    )

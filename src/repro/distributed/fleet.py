@@ -1,0 +1,287 @@
+"""Worker registration, heartbeat liveness, and fleet lifecycles.
+
+A *fleet* is the coordinator's view of its workers: one
+:class:`WorkerHandle` per endpoint carrying the transport, liveness
+state, and dispatch counters.  Liveness is heartbeat-based — a worker
+is registered by a successful ``/healthz`` exchange and marked dead
+after ``miss_threshold`` consecutive failed heartbeats (or a fatal
+transport error mid-dispatch).  Death is one-way for a sweep: a worker
+that flaps back is ignored until the next sweep re-registers it, so
+lease accounting never races a resurrection.
+
+Three fleet flavours:
+
+* :class:`InProcessFleet` — workers are :class:`WorkerApp` objects in
+  this process (the chaos suite's substrate: no ports, full protocol);
+* :class:`HttpFleet` — pre-existing ``host:port`` endpoints;
+* :class:`LocalProcessFleet` — spawns ``python -m
+  repro.distributed.worker`` subprocesses on OS-picked ports and owns
+  their shutdown.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+from typing import Any, Sequence
+
+from repro.distributed.transport import (
+    HttpWorkerTransport,
+    InProcessTransport,
+    WorkerTransport,
+)
+from repro.exceptions import (
+    ReproError,
+    ValidationError,
+    WorkerUnavailableError,
+    error_code,
+)
+
+__all__ = ["WorkerHandle", "Fleet", "InProcessFleet", "HttpFleet", "LocalProcessFleet"]
+
+#: Consecutive failed heartbeats before a worker is declared dead.
+DEFAULT_MISS_THRESHOLD = 2
+
+
+class WorkerHandle:
+    """One worker as the coordinator sees it: transport + liveness + tallies."""
+
+    def __init__(self, worker_id: str, transport: WorkerTransport) -> None:
+        self.worker_id = worker_id
+        self.transport = transport
+        self.alive = True
+        self.registered = False
+        self.misses = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.failures = 0
+
+    def record_success(self) -> None:
+        self.misses = 0
+        self.completed += 1
+
+    def record_miss(self, threshold: int = DEFAULT_MISS_THRESHOLD) -> None:
+        """One failed heartbeat/dispatch; past the threshold the worker dies."""
+        self.misses += 1
+        self.failures += 1
+        if self.misses >= threshold:
+            self.alive = False
+
+    def mark_dead(self) -> None:
+        self.alive = False
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "endpoint": getattr(self.transport, "endpoint", "?"),
+            "alive": self.alive,
+            "registered": self.registered,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failures": self.failures,
+        }
+
+
+class Fleet:
+    """A set of worker handles plus the heartbeat that curates it."""
+
+    def __init__(self, handles: Sequence[WorkerHandle]) -> None:
+        if not handles:
+            raise ValidationError("a fleet needs at least one worker")
+        self.handles = list(handles)
+
+    # -- liveness ----------------------------------------------------------
+
+    def live(self) -> list[WorkerHandle]:
+        return [h for h in self.handles if h.alive]
+
+    def heartbeat(
+        self,
+        *,
+        timeout: float = 1.0,
+        miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    ) -> dict[str, bool]:
+        """Ping every live worker's ``/healthz`` once; returns id → up.
+
+        Registration happens here too: the first successful heartbeat
+        marks the handle registered (the worker answered with its own
+        id, which must match the handle's).
+        """
+        status: dict[str, bool] = {}
+        for handle in self.handles:
+            if not handle.alive:
+                status[handle.worker_id] = False
+                continue
+            try:
+                payload = handle.transport.request(
+                    "GET", "/healthz", timeout=timeout
+                )
+            except ReproError as exc:
+                del exc  # typed fault: a miss, counted below
+                handle.record_miss(miss_threshold)
+                status[handle.worker_id] = handle.alive
+                continue
+            handle.misses = 0
+            handle.registered = True
+            remote_id = payload.get("worker_id")
+            if isinstance(remote_id, str) and remote_id:
+                handle.worker_id = remote_id
+            status[handle.worker_id] = True
+        return status
+
+    def describe(self) -> list[dict[str, Any]]:
+        return [h.describe() for h in self.handles]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release fleet resources (subclasses own real processes)."""
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InProcessFleet(Fleet):
+    """Workers are handler objects in this process (tests, chaos suite).
+
+    ``handlers`` may be bare :class:`~repro.distributed.worker.WorkerApp`
+    objects or pre-wrapped transports (e.g. a
+    :class:`~repro.distributed.chaos.ChaosTransport`) — anything with a
+    ``request`` method is used as-is.
+    """
+
+    def __init__(self, handlers: Sequence[Any]) -> None:
+        handles = []
+        for index, handler in enumerate(handlers):
+            if hasattr(handler, "request"):
+                transport: WorkerTransport = handler
+                worker_id = getattr(handler, "endpoint", f"inproc-{index}")
+            else:
+                worker_id = getattr(handler, "worker_id", f"inproc-{index}")
+                transport = InProcessTransport(handler, endpoint=worker_id)
+            handles.append(WorkerHandle(worker_id, transport))
+        super().__init__(handles)
+
+
+class HttpFleet(Fleet):
+    """Pre-existing worker endpoints (``host:port`` strings)."""
+
+    def __init__(
+        self, endpoints: Sequence[str], *, timeout: float | None = None
+    ) -> None:
+        handles = []
+        for endpoint in endpoints:
+            host, _, port_text = str(endpoint).rpartition(":")
+            if not host or not port_text.isdigit():
+                raise ValidationError(
+                    f"worker endpoint {endpoint!r} is not 'host:port'"
+                )
+            transport = HttpWorkerTransport(
+                host, int(port_text), timeout=timeout
+            )
+            handles.append(WorkerHandle(endpoint, transport))
+        super().__init__(handles)
+
+
+class LocalProcessFleet(Fleet):
+    """Spawn N worker subprocesses on OS-picked ports; own their exit."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        spawn_timeout: float = 20.0,
+        request_timeout: float | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        self._procs: list[subprocess.Popen[str]] = []
+        handles: list[WorkerHandle] = []
+        try:
+            for index in range(n_workers):
+                worker_id = f"local-{index}"
+                proc = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.distributed.worker",
+                        "--port",
+                        "0",
+                        "--worker-id",
+                        worker_id,
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                )
+                self._procs.append(proc)
+                host, port = self._parse_banner(proc, worker_id, spawn_timeout)
+                transport = HttpWorkerTransport(
+                    host, port, timeout=request_timeout
+                )
+                handles.append(WorkerHandle(worker_id, transport))
+        except BaseException:
+            self._terminate_all()
+            raise
+        super().__init__(handles)
+
+    @staticmethod
+    def _parse_banner(
+        proc: "subprocess.Popen[str]", worker_id: str, timeout: float
+    ) -> tuple[str, int]:
+        """Read ``repro-worker <id> on http://host:port`` from stdout."""
+        line_box: list[str] = []
+
+        def read() -> None:
+            assert proc.stdout is not None
+            line_box.append(proc.stdout.readline())
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout)
+        if not line_box or "http://" not in line_box[0]:
+            raise WorkerUnavailableError(
+                f"worker {worker_id} did not announce an endpoint within "
+                f"{timeout:.0f}s (exit code {proc.poll()})"
+            )
+        address = line_box[0].rsplit("http://", 1)[1].strip()
+        host, _, port_text = address.rpartition(":")
+        return host, int(port_text)
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker mid-block (the chaos suite's axe)."""
+        proc = self._procs[index]
+        proc.kill()
+        proc.wait(timeout=10)
+
+    def close(self) -> None:
+        for handle, proc in zip(self.handles, self._procs):
+            if proc.poll() is not None:
+                continue
+            try:
+                handle.transport.request("POST", "/shutdown", {}, timeout=2.0)
+            except ReproError as exc:
+                del exc  # already dying; escalate to terminate below
+        self._terminate_all()
+
+    def _terminate_all(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+
+def classify_fleet_fault(exc: BaseException) -> str:
+    """Debug helper mirroring :func:`repro.exceptions.error_code`."""
+    return error_code(exc) or type(exc).__name__

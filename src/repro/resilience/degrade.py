@@ -60,6 +60,9 @@ DEFAULT_FALLBACK_CHAIN: tuple[str, ...] = (
 #: block partials — a lossless degradation) before the serial terminal.
 _CHAIN_SPURS: dict[str, tuple[str, ...]] = {
     "blocked-shm": ("blocked-shm", "blocked", "numpy"),
+    # The fleet coordinator folds the same block partials as `blocked`,
+    # so losing the fleet degrades losslessly to the local sweep.
+    "distributed": ("distributed", "blocked", "numpy"),
 }
 
 #: Transient faults: retry on the same backend.
@@ -69,6 +72,10 @@ RETRYABLE_CODES = frozenset(
         "REPRO_BLOCK_TIMEOUT",
         "REPRO_KERNEL_EXEC",
         "REPRO_DATA_CORRUPT",
+        "REPRO_DIST_UNREACHABLE",
+        "REPRO_DIST_LEASE_EXPIRED",
+        "REPRO_DIST_CHECKSUM",
+        "REPRO_SERVE_TIMEOUT",
     }
 )
 
@@ -84,6 +91,7 @@ DEGRADABLE_CODES = frozenset(
         "REPRO_POOL_STATE",
         "REPRO_SHM_SEGMENT",
         "REPRO_RETRY_EXHAUSTED",
+        "REPRO_DIST_FLEET_LOST",
     }
 )
 

@@ -362,6 +362,32 @@ class ArtifactCache:
                 "stats": self.stats.to_dict(),
             }
 
+    def flush(self) -> int:
+        """Persist memory-tier entries missing from the disk tier.
+
+        The write path is normally write-through, but an entry can be
+        memory-only when the disk tier evicted it under budget pressure
+        or a write failed transiently.  Called on graceful shutdown so
+        a restarted replica finds the warm artifacts on disk; returns
+        the number of entries written.  A ``None`` directory (memory-
+        only cache) flushes nothing.
+        """
+        if self.directory is None:
+            return 0
+        written = 0
+        with self._lock:
+            for key, (payload, _) in self._memory.items():
+                if self._disk_path(key).exists():
+                    continue
+                try:
+                    self._disk_write(key, payload)
+                except CacheError:
+                    continue  # unwritable tier: shutdown must not fail
+                written += 1
+            if written:
+                self._disk_enforce_budget()
+        return written
+
     def clear(self) -> None:
         """Drop both tiers (stats are preserved)."""
         with self._lock:

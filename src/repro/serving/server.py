@@ -51,6 +51,7 @@ from repro.exceptions import (
     OverloadError,
     RegistryError,
     ReproError,
+    ServeTimeoutError,
     ValidationError,
     error_code,
 )
@@ -80,6 +81,15 @@ class ServingConfig:
     select: SchedulerConfig = field(
         default_factory=lambda: SchedulerConfig(max_batch_size=4, max_wait_ms=1.0)
     )
+    #: Connection read timeout: a client that connects but never sends a
+    #: complete request is answered 504 and dropped, so slow-loris
+    #: connections cannot pin the accept loop's resources.
+    read_timeout_s: float = 30.0
+    #: Per-request execution deadline; past it the request is answered
+    #: with a typed ``REPRO_SERVE_TIMEOUT`` 504 (the same code the
+    #: distributed RPC client raises for a silent worker).  ``None``
+    #: disables the deadline.
+    request_deadline_s: float | None = 120.0
     #: Run selections on the resilient engine (backend degrade chain).
     resilience: bool = True
     #: Record per-request spans into the app tracer (surfaced on /metrics).
@@ -244,10 +254,26 @@ class ServingApp:
         loop = asyncio.get_running_loop()
         started = loop.time()
         self._m_http.inc()
+        deadline = self.config.request_deadline_s
         with use_tracer(self.tracer):
             with self.tracer.span("request", method=method, path=path) as span:
                 try:
-                    status, payload = await self._route(method, path, body or {})
+                    route = self._route(method, path, body or {})
+                    if deadline is not None:
+                        status, payload = await asyncio.wait_for(
+                            route, timeout=deadline
+                        )
+                    else:
+                        status, payload = await route
+                except asyncio.TimeoutError:
+                    status, payload = 504, self._error_payload(
+                        ServeTimeoutError(
+                            f"{method} {path} exceeded the "
+                            f"{deadline:.1f}s request deadline"
+                        )
+                    )
+                except ServeTimeoutError as exc:
+                    status, payload = 504, self._error_payload(exc)
                 except OverloadError as exc:
                     status, payload = 429, self._error_payload(exc)
                 except RegistryError as exc:
@@ -390,7 +416,14 @@ class ServingApp:
         ]
         if isinstance(self.tracer, Tracer):
             lines.extend(trace_metrics_lines(self.tracer))
-        return self.metrics.render_text() + "\n".join(lines) + "\n"
+        # Per-worker fleet health gauges (set by the distributed
+        # coordinator) ride along so one scrape covers the whole stack.
+        from repro.distributed.coordinator import fleet_metrics
+
+        fleet_text = fleet_metrics().render_text()
+        return (
+            self.metrics.render_text() + fleet_text + "\n".join(lines) + "\n"
+        )
 
     @staticmethod
     def _error_payload(exc: ReproError) -> dict[str, Any]:
@@ -414,8 +447,9 @@ async def _write_response(
     payload: dict[str, Any] | str,
 ) -> None:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-               413: "Payload Too Large", 429: "Too Many Requests",
-               500: "Internal Server Error"}
+               413: "Payload Too Large", 422: "Unprocessable Entity",
+               429: "Too Many Requests", 500: "Internal Server Error",
+               504: "Gateway Timeout"}
     if isinstance(payload, str):
         body = payload.encode()
         content_type = "text/plain; charset=utf-8"
@@ -490,7 +524,21 @@ async def run_server(
     ) -> None:
         try:
             try:
-                request = await _read_request(reader)
+                request = await asyncio.wait_for(
+                    _read_request(reader),
+                    timeout=app.config.read_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                # A connection that never finishes its request (slow
+                # loris, dead peer) gets a typed 504 and its socket back.
+                exc = ServeTimeoutError(
+                    "request not received within the "
+                    f"{app.config.read_timeout_s:.1f}s read timeout"
+                )
+                await _write_response(
+                    writer, 504, {"error": str(exc), "code": exc.code}
+                )
+                return
             except ValidationError as exc:
                 await _write_response(
                     writer, 400, {"error": str(exc), "code": exc.code}
@@ -525,24 +573,41 @@ async def run_server(
             else:
                 await shutdown_trigger.wait()
     finally:
+        # Graceful drain: stop accepting, finish queued micro-batches,
+        # then persist the memory-tier cache so a restart stays warm.
+        server.close()
         await app.shutdown()
+        app.cache.flush()
 
 
 def serve_forever(target: ServingApp | ServingConfig | None = None) -> int:
     """Blocking entry point used by ``repro-bench serve``.
 
     Accepts a prepared :class:`ServingApp` (the CLI pre-fits a default
-    model on its registry) or a bare config.
+    model on its registry) or a bare config.  SIGTERM and SIGINT both
+    trigger a graceful shutdown — drain the schedulers, stop accepting,
+    flush the artifact cache disk tier — and exit 0.
     """
+    import signal
+
     app = target if isinstance(target, ServingApp) else ServingApp(target)
 
     async def main() -> None:
         loop = asyncio.get_running_loop()
         ready: asyncio.Future[tuple[str, int]] = loop.create_future()
-        task = loop.create_task(run_server(app, ready=ready))
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal handlers
+        task = loop.create_task(
+            run_server(app, ready=ready, shutdown_trigger=stop)
+        )
         host, port = await ready
         print(f"repro serving on http://{host}:{port}", flush=True)
         await task
+        print("repro serving drained; bye", flush=True)
 
     try:
         asyncio.run(main())

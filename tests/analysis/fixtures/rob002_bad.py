@@ -1,0 +1,9 @@
+# lint-fixture: rel=serving/smoke.py expect=ROB002
+"""Deliberate violation: a network call relying on the blocking default."""
+
+import urllib.request
+
+
+def fetch_health(url):
+    with urllib.request.urlopen(url) as resp:
+        return resp.read()

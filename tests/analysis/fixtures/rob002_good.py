@@ -1,0 +1,19 @@
+# lint-fixture: rel=serving/smoke.py expect=none
+"""Clean counterpart: every network client call states its deadline."""
+
+import http.client
+import urllib.request
+
+
+def fetch_health(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.read()
+
+
+def probe(host, port):
+    conn = http.client.HTTPConnection(host, port, timeout=None)
+    try:
+        conn.request("GET", "/healthz")
+        return conn.getresponse().status
+    finally:
+        conn.close()

@@ -1,0 +1,64 @@
+"""Fixtures for the distributed coordinator and its chaos suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ChaosTransport,
+    CoordinatorConfig,
+    InProcessFleet,
+    InProcessTransport,
+    WorkerApp,
+)
+from repro.resilience.policy import RetryPolicy
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    """Injection seed: CI sweeps a matrix via ``REPRO_CHAOS_SEED``."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def fleet_sample() -> tuple[np.ndarray, np.ndarray]:
+    """A fixed (x, y) sample big enough for several row blocks."""
+    rng = np.random.default_rng(20170529)
+    x = rng.uniform(0.0, 10.0, 240)
+    y = np.sin(x) + rng.normal(0.0, 0.3, 240)
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def fleet_grid() -> np.ndarray:
+    return np.linspace(0.2, 3.0, 15)
+
+
+@pytest.fixture
+def fast_config() -> CoordinatorConfig:
+    """Generous retries, zero backoff sleeping — chaos tests run in ms."""
+    return CoordinatorConfig(
+        policy=RetryPolicy(max_retries=4, base_delay=0.0, max_delay=0.0),
+        lease_timeout=5.0,
+        heartbeat_interval=60.0,
+        tick=0.005,
+        sleep=lambda _seconds: None,
+    )
+
+
+def make_chaos_fleet(n_workers: int, specs_for) -> InProcessFleet:
+    """An in-process fleet whose transports fault on schedule.
+
+    ``specs_for(worker_id)`` returns the :class:`NetFaultSpec` tuple for
+    that worker's transport (empty tuple = a healthy worker).
+    """
+    transports = []
+    for index in range(n_workers):
+        worker_id = f"w{index}"
+        app = WorkerApp(worker_id=worker_id)
+        inner = InProcessTransport(app, endpoint=worker_id)
+        transports.append(ChaosTransport(inner, specs_for(worker_id)))
+    return InProcessFleet(transports)

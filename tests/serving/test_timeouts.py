@@ -1,0 +1,219 @@
+"""Serving deadlines and graceful shutdown (the robustness satellites).
+
+Three layers:
+
+* per-request deadline — a route that outlives ``request_deadline_s``
+  answers a typed ``REPRO_SERVE_TIMEOUT`` 504 instead of holding the
+  connection forever;
+* connection read timeout — a client that connects and never finishes
+  its request (slow loris) gets the same typed 504 and its socket back;
+* graceful shutdown — ``repro serve`` under SIGTERM drains, flushes the
+  cache disk tier, prints the drain banner, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.serving import ServingApp, ServingConfig, run_server
+from repro.serving.cache import ArtifactCache
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_app(**overrides: Any) -> ServingApp:
+    defaults: dict[str, Any] = {"port": 0}
+    defaults.update(overrides)
+    return ServingApp(ServingConfig(**defaults))
+
+
+class TestRequestDeadline:
+    def test_slow_route_becomes_typed_504(self):
+        async def main():
+            app = make_app(request_deadline_s=0.05)
+            app.startup()
+
+            async def slow_route(method, path, body):
+                await asyncio.sleep(5.0)
+                return 200, {}
+
+            app._route = slow_route
+            status, payload = await app.handle("GET", "/healthz", None)
+            await app.shutdown()
+            return status, payload
+
+        status, payload = asyncio.run(main())
+        assert status == 504
+        assert payload["code"] == "REPRO_SERVE_TIMEOUT"
+        assert "deadline" in payload["error"]
+
+    def test_deadline_none_means_no_limit(self):
+        async def main():
+            app = make_app(request_deadline_s=None)
+            app.startup()
+            status, payload = await app.handle("GET", "/healthz", None)
+            await app.shutdown()
+            return status, payload
+
+        status, payload = asyncio.run(main())
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_serve_timeout_raised_by_a_route_is_504(self):
+        from repro.exceptions import ServeTimeoutError
+
+        async def main():
+            app = make_app()
+            app.startup()
+
+            async def failing_route(method, path, body):
+                raise ServeTimeoutError("downstream worker timed out")
+
+            app._route = failing_route
+            status, payload = await app.handle("GET", "/healthz", None)
+            await app.shutdown()
+            return status, payload
+
+        status, payload = asyncio.run(main())
+        assert status == 504
+        assert payload["code"] == "REPRO_SERVE_TIMEOUT"
+
+    def test_fast_request_unaffected_by_deadline(self):
+        async def main():
+            app = make_app(request_deadline_s=5.0)
+            app.startup()
+            status, payload = await app.handle("GET", "/healthz", None)
+            await app.shutdown()
+            return status, payload
+
+        status, _ = asyncio.run(main())
+        assert status == 200
+
+
+class TestConnectionReadTimeout:
+    def test_slow_loris_gets_typed_504(self):
+        async def main():
+            app = make_app(read_timeout_s=0.2)
+            loop = asyncio.get_running_loop()
+            ready: asyncio.Future = loop.create_future()
+            stop = asyncio.Event()
+            server = loop.create_task(
+                run_server(app, ready=ready, shutdown_trigger=stop)
+            )
+            host, port = await ready
+
+            def loris() -> bytes:
+                with socket.create_connection((host, port), timeout=5.0) as sock:
+                    # Start a request but never finish the headers.
+                    sock.sendall(b"POST /select HTTP/1.1\r\n")
+                    sock.settimeout(5.0)
+                    chunks = []
+                    while True:
+                        data = sock.recv(4096)
+                        if not data:
+                            return b"".join(chunks)
+                        chunks.append(data)
+
+            raw = await loop.run_in_executor(None, loris)
+            stop.set()
+            await server
+            return raw
+
+        raw = asyncio.run(main())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"504" in head.split(b"\r\n")[0]
+        payload = json.loads(body)
+        assert payload["code"] == "REPRO_SERVE_TIMEOUT"
+        assert "read timeout" in payload["error"]
+
+
+class TestCacheFlush:
+    def _payload(self) -> dict[str, np.ndarray]:
+        return {"scores": np.arange(6.0)}
+
+    def test_flush_rewrites_evicted_disk_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put_curve("f" * 64, np.arange(6.0), np.arange(6.0))
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        # Simulate a disk-tier eviction: memory still warm, disk empty.
+        files[0].unlink()
+        assert cache.flush() == 1
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        assert cache.flush() == 0  # idempotent: already on disk
+
+    def test_memory_only_cache_flushes_nothing(self):
+        cache = ArtifactCache(None)
+        cache.put_curve("f" * 64, np.arange(6.0), np.arange(6.0))
+        assert cache.flush() == 0
+
+
+class TestGracefulShutdown:
+    """A live ``repro serve`` process under SIGTERM."""
+
+    def _spawn(self, tmp_path: Path) -> subprocess.Popen:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--no-model",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+
+    def _await_banner(self, proc: subprocess.Popen) -> str:
+        deadline = time.monotonic() + 30.0
+        assert proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if "repro serving on http://" in line:
+                return line.strip()
+            if proc.poll() is not None:
+                pytest.fail(f"server died before listening: {line}")
+        pytest.fail("server never printed its listening banner")
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        proc = self._spawn(tmp_path)
+        try:
+            banner = self._await_banner(proc)
+            host_port = banner.rsplit("http://", 1)[1]
+            host, port = host_port.split(":")
+
+            # Prove it serves, then terminate.
+            import urllib.request
+
+            with urllib.request.urlopen(
+                f"http://{host}:{int(port)}/healthz", timeout=10.0
+            ) as resp:
+                assert resp.status == 200
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10.0)
+        assert proc.returncode == 0
+        assert "repro serving drained; bye" in out
