@@ -40,6 +40,7 @@ from repro.core import (
     SelectionResult,
     select_bandwidth,
 )
+from repro.bagged import BaggedCVSelector
 from repro.kde import KernelDensity, select_kde_bandwidth
 from repro.kernels import get_kernel, list_kernels
 from repro.regression import LocalLinear, NadarayaWatson
@@ -47,6 +48,7 @@ from repro.regression import LocalLinear, NadarayaWatson
 __version__ = "1.0.0"
 
 __all__ = [
+    "BaggedCVSelector",
     "BandwidthGrid",
     "GridSearchSelector",
     "KernelDensity",

@@ -207,6 +207,14 @@ class LintConfig:
         "default_rng",  # only with an explicit seed; the rule checks args
     )
 
+    # -- DET003: seeded-RNG discipline ------------------------------------
+    #: Modules where every random stream must derive from an explicit
+    #: seed (``repro.utils.rng``).  Library-wide by default — the bagged
+    #: selector's bit-for-bit claim is only as strong as the least
+    #: disciplined draw site.  Tests are exempt simply because the lint
+    #: scans the package, not the test tree.
+    seeded_rng_modules: tuple[str, ...] = ("*",)
+
     # -- DET001: order-sensitive reduction sinks --------------------------
     #: Terminal names of the strict-fold primitives: any value that
     #: reaches one of these must arrive in deterministic order.

@@ -1,5 +1,6 @@
 """Determinism rules: DET001 (unordered iteration into a strict fold),
-DET002 (completion-order collection primitives).
+DET002 (completion-order collection primitives), DET003 (process-global
+or unseeded RNG in library code).
 
 The whole library's cross-backend story rests on one contract
 (``utils/numeric.fold_rows``): partial results are folded **in index
@@ -30,7 +31,7 @@ from repro.analysis.engine import ModuleContext
 from repro.analysis.findings import Finding
 from repro.analysis.rules.base import Rule, register_rule
 
-__all__ = ["UnorderedCollectionRule", "UnorderedFoldRule"]
+__all__ = ["SeededRngRule", "UnorderedCollectionRule", "UnorderedFoldRule"]
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
@@ -251,6 +252,65 @@ class UnorderedFoldRule(Rule):
                     ):
                         return node
         return None
+
+
+@register_rule
+class SeededRngRule(Rule):
+    """DET003 — library randomness must derive from an explicit seed.
+
+    Every replayable contract in the repo — the bagged subsample draws,
+    fault-injection schedules, chaos transports, retry jitter — rests on
+    streams that are pure functions of a root seed
+    (:mod:`repro.utils.rng`).  ``np.random.seed()`` mutates hidden
+    process-global state that any import can clobber, and a no-argument
+    ``default_rng()`` reseeds from the OS on every call; either one in a
+    library module makes a "same seed, same answer" claim unverifiable.
+    GPU/device modules are covered by GPU001's stricter variant of the
+    same check and are excluded here to keep findings single-sourced.
+    """
+
+    rule_id = "DET003"
+    summary = "process-global or unseeded numpy RNG in library code"
+    rationale = (
+        "np.random.seed() mutates shared global state and argless "
+        "default_rng() seeds from the OS — both break the bit-for-bit "
+        "replay contracts (bagged draws, fault schedules, chaos "
+        "transports).  Derive streams from an explicit root via "
+        "repro.utils.rng (derive_rng / spawn_seeds) instead."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # GPU001 already polices device modules (with a wider net);
+        # excluding them here keeps each draw site to one finding.
+        return ctx.in_modules(ctx.config.seeded_rng_modules) and not ctx.in_modules(
+            ctx.config.gpu_modules
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name == "numpy.random.seed":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "np.random.seed() mutates the process-global RNG any "
+                    "import can clobber; derive a stream from an explicit "
+                    "root with repro.utils.rng instead",
+                )
+            elif (
+                name == "numpy.random.default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed draws fresh OS entropy "
+                    "per call; pass a seed (e.g. repro.utils.rng."
+                    "spawn_seed) so the stream replays",
+                )
 
 
 @register_rule

@@ -104,7 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--k", type=int, default=50)
     sel.add_argument("--kernel", type=str, default="epanechnikov")
     sel.add_argument(
-        "--method", type=str, default="grid", choices=["grid", "numeric", "rot"]
+        "--method",
+        type=str,
+        default="grid",
+        choices=["grid", "bagged", "numeric", "rot"],
     )
     sel.add_argument(
         "--backend",
@@ -122,6 +125,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_WORKERS, else lossless local degradation)",
     )
     sel.add_argument("--seed", type=int, default=0)
+    sel.add_argument(
+        "--subsamples",
+        type=int,
+        default=None,
+        metavar="R",
+        help="--method bagged: number of seeded subsamples "
+        "(default: 20, or 1 when the subsample covers the sample)",
+    )
+    sel.add_argument(
+        "--subsample-size",
+        type=int,
+        default=None,
+        metavar="M",
+        help="--method bagged: observations per subsample "
+        "(default: min(ceil(n^0.7), 5000))",
+    )
+    sel.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="--method bagged: root seed all subsample draws derive from",
+    )
     sel.add_argument(
         "--mem-budget",
         type=str,
@@ -405,14 +431,25 @@ def _cmd_select(args: argparse.Namespace) -> int:
     else:
         sample = generate(args.dgp, args.n, seed=args.seed)
         x, y = sample.x, sample.y
-    method = {"grid": "grid", "numeric": "numeric", "rot": "rule-of-thumb"}[args.method]
+    method = {
+        "grid": "grid",
+        "bagged": "bagged",
+        "numeric": "numeric",
+        "rot": "rule-of-thumb",
+    }[args.method]
     kwargs = {}
-    if method == "grid":
+    if method in ("grid", "bagged"):
         kwargs.update(n_bandwidths=args.k, backend=args.backend)
         if args.mem_budget is not None:
             kwargs["memory_budget"] = args.mem_budget
         if args.backend == "distributed" and args.workers is not None:
             kwargs["workers"] = args.workers
+    if method == "bagged":
+        kwargs["root_seed"] = args.root_seed
+        if args.subsamples is not None:
+            kwargs["subsamples"] = args.subsamples
+        if args.subsample_size is not None:
+            kwargs["subsample_size"] = args.subsample_size
     wants_resilience = (
         args.resilient
         or args.resume is not None
@@ -439,7 +476,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
         kwargs["cache"] = ArtifactCache(args.cache_dir)
     result = select_bandwidth(x, y, method=method, kernel=args.kernel, **kwargs)
     fleet_report = None
-    if method == "grid" and args.backend == "distributed":
+    if method in ("grid", "bagged") and args.backend == "distributed":
         from repro.distributed import last_fleet_report
 
         fleet_report = last_fleet_report()

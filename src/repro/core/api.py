@@ -44,6 +44,9 @@ _METHOD_ALIASES = {
     "np": "numeric",
     "rot": "rule-of-thumb",
     "rule-of-thumb": "rule-of-thumb",
+    "bagged": "bagged",
+    "bagged-cv": "bagged",
+    "bagging": "bagged",
 }
 
 
@@ -62,7 +65,10 @@ def _selection_cache_key(
     from repro.kernels import get_kernel
     from repro.serving.cache import selection_fingerprint
 
-    if canonical == "grid":
+    if canonical in ("grid", "bagged"):
+        # The bagged key covers the full-sample grid; (root seed, r, m)
+        # arrive through ``options``, normalised by resolve_plan_options
+        # before this function runs.
         grid_values = (
             grid.values if grid is not None else BandwidthGrid.for_sample(
                 x, n_bandwidths
@@ -78,7 +84,7 @@ def _selection_cache_key(
         grid_values,
         get_kernel(kernel).name,
         method=canonical,
-        backend=backend if canonical == "grid" else canonical,
+        backend=backend if canonical in ("grid", "bagged") else canonical,
         options=keyed_options,
     )
 
@@ -108,6 +114,9 @@ def select_bandwidth(
     method:
         ``"grid"`` — the paper's fast sorted grid search (default and
         recommended: deterministic, guaranteed global on the grid);
+        ``"bagged"`` — subsampled-CV bagging for huge n (the grid sweep
+        on r seeded subsamples of size m, rescaled by the n^(−1/5) rate;
+        pass ``subsamples=``/``subsample_size=``/``root_seed=``);
         ``"numeric"`` — R ``np``-style numerical optimisation;
         ``"rule-of-thumb"`` — instant normal-reference baseline.
     kernel:
@@ -115,9 +124,10 @@ def select_bandwidth(
     n_bandwidths, grid:
         Grid configuration (grid method only).
     backend:
-        Execution backend for the grid method: ``"numpy"``, ``"python"``,
+        Execution backend for the grid method (and for each subsample
+        sweep of the bagged method): ``"numpy"``, ``"python"``,
         ``"multicore"``, ``"blocked"``, ``"blocked-shm"``, ``"gpusim"``,
-        ``"gpusim-tiled"``.
+        ``"gpusim-tiled"``, ``"distributed"``.
     memory_budget:
         Byte budget for the blockwise out-of-core backends — an int or a
         string like ``"2GB"``/``"512MiB"``.  ``None`` consults
@@ -183,6 +193,12 @@ def select_bandwidth(
         # Into the option dict before the cache key is computed, so the
         # fingerprint distinguishes budgeted configurations.
         options["memory_budget"] = memory_budget
+    if canonical == "bagged":
+        # Make (root seed, r, m) explicit before the fingerprint is
+        # computed, so defaulted and spelled-out plans share a cache key.
+        from repro.bagged.plan import resolve_plan_options
+
+        options = resolve_plan_options(int(x.shape[0]), options)
     if canonical != "grid" and resume is not None:
         raise ValidationError(
             "resume= (checkpointing) is only supported by the grid method"
@@ -208,7 +224,7 @@ def select_bandwidth(
             "select_bandwidth",
             method=canonical,
             kernel=kernel,
-            backend=backend if canonical == "grid" else canonical,
+            backend=backend if canonical in ("grid", "bagged") else canonical,
             n=int(x.shape[0]),
         ) as root:
             warm = (
@@ -234,6 +250,18 @@ def select_bandwidth(
                         cache=cache,
                         resilience=resilience,
                         resume=resume,
+                        **options,
+                    )
+                elif canonical == "bagged":
+                    from repro.bagged.selector import BaggedCVSelector
+
+                    selector = BaggedCVSelector(
+                        kernel,
+                        n_bandwidths=n_bandwidths,
+                        grid=grid,
+                        backend=backend,
+                        cache=cache,
+                        resilience=resilience,
                         **options,
                     )
                 elif canonical == "numeric":

@@ -29,7 +29,6 @@ run replays bit-for-bit from its ``REPRO_CHAOS_SEED``.
 from __future__ import annotations
 
 import time
-import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -40,6 +39,7 @@ from repro.exceptions import (
     ValidationError,
     WorkerUnavailableError,
 )
+from repro.utils.rng import derive_rng
 
 __all__ = ["NetFaultSpec", "ChaosTransport", "seeded_compute_faults", "FAULT_KINDS"]
 
@@ -185,8 +185,9 @@ def seeded_compute_faults(
     first ``n_blocks`` compute calls fault, each with a kind drawn
     uniformly from ``kinds``.
     """
-    site_seed = zlib.crc32(worker_id.encode()) & 0xFFFFFFFF
-    rng = np.random.default_rng(np.random.SeedSequence([int(seed), site_seed]))
+    # Bit-compatible with the pre-consolidation SeedSequence([seed,
+    # crc32(worker_id)]): recorded fault schedules replay unchanged.
+    rng = derive_rng(int(seed), worker_id)
     per_kind: dict[str, list[int]] = {kind: [] for kind in kinds}
     for call_index in range(1, n_blocks + 1):
         if float(rng.random()) < rate:

@@ -19,16 +19,20 @@ whether the ``i``-th event at that site fails.  Instrumented sites:
                     externally unlinked or purged ``/dev/shm`` segment)
 ``shm.worker``      a shared-memory pool work unit (crash or timeout,
                     raised inside the child like ``pool.worker``)
+``bagged.subsample``  one subsample sweep of the bagged selector
+                    (crash or timeout; the deterministic re-draw on
+                    retry is what the bagged chaos suite exercises)
 ==================  =====================================================
 
 Two trigger mechanisms, combinable per spec:
 
 * ``at`` — explicit 0-based event indices, exactly reproducible;
-* ``rate`` — per-event probability drawn from a generator seeded by
-  ``(seed, crc32(site))``, so the Bernoulli sequence at each site is a
-  pure function of the seed and the event order (NOT of wall clock,
-  process id, or Python hash randomisation — ``hash()`` is salted per
-  process and would break replay across runs).
+* ``rate`` — per-event probability drawn from a generator seeded via
+  :func:`repro.utils.rng.derive_seed_sequence` with the site name, so
+  the Bernoulli sequence at each site is a pure function of the seed
+  and the event order (NOT of wall clock, process id, or Python hash
+  randomisation — string labels are folded in by crc32, not the
+  per-process-salted ``hash()``).
 
 Injection decisions are always drawn in the *parent* process (the pool
 wraps work units with the decision already made), so a multi-process run
@@ -44,7 +48,6 @@ Usage::
 
 from __future__ import annotations
 
-import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -59,6 +62,7 @@ from repro.exceptions import (
     ValidationError,
     WorkerCrashError,
 )
+from repro.utils.rng import derive_seed_sequence
 
 __all__ = [
     "FaultSpec",
@@ -83,6 +87,7 @@ KNOWN_SITES = (
     "data.block",
     "shm.segment",
     "shm.worker",
+    "bagged.subsample",
 )
 
 #: Fault kinds and the exception each one raises (``nan``/``inf`` corrupt
@@ -155,9 +160,9 @@ class FaultEvent:
 
 
 def _site_seed(seed: int, site: str) -> np.random.SeedSequence:
-    # crc32, not hash(): hash() is salted per interpreter and would make
-    # the trigger sequence irreproducible across runs.
-    return np.random.SeedSequence([int(seed), zlib.crc32(site.encode("utf-8"))])
+    # Bit-compatible with the pre-consolidation SeedSequence([seed,
+    # crc32(site)]) construction: recorded chaos schedules replay as-is.
+    return derive_seed_sequence(seed, site)
 
 
 class FaultInjector:

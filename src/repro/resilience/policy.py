@@ -16,6 +16,7 @@ from typing import Any, Callable, TypeVar
 import numpy as np
 
 from repro.exceptions import ReproError, ValidationError, error_code
+from repro.utils.rng import derive_rng
 
 __all__ = ["RetryPolicy", "RetryBudgetExceeded", "run_with_retry", "describe_policy"]
 
@@ -94,7 +95,9 @@ class RetryPolicy:
 
     def jitter_rng(self) -> np.random.Generator:
         """A fresh generator positioned at the start of the jitter sequence."""
-        return np.random.default_rng(np.random.SeedSequence([self.seed, 0x5E7B]))
+        # Bit-compatible with the pre-consolidation SeedSequence([seed,
+        # 0x5E7B]): recorded backoff schedules replay unchanged.
+        return derive_rng(self.seed, 0x5E7B)
 
 
 @dataclass

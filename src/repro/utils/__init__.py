@@ -2,6 +2,13 @@
 
 from repro.utils.chunking import chunk_slices, iter_chunks, suggest_chunk_rows
 from repro.utils.numeric import FLOAT_ATOL, FLOAT_RTOL, allclose, is_zero, isclose
+from repro.utils.rng import (
+    derive_rng,
+    derive_seed_sequence,
+    spawn_rngs,
+    spawn_seed,
+    spawn_seeds,
+)
 from repro.utils.timer import Stopwatch, TimingRecord, time_callable
 from repro.utils.validation import (
     as_float_array,
@@ -22,10 +29,15 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "chunk_slices",
+    "derive_rng",
+    "derive_seed_sequence",
     "ensure_bandwidths",
     "is_zero",
     "isclose",
     "iter_chunks",
+    "spawn_rngs",
+    "spawn_seed",
+    "spawn_seeds",
     "suggest_chunk_rows",
     "time_callable",
 ]

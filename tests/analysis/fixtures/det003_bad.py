@@ -1,0 +1,11 @@
+# lint-fixture: rel=bagged/plan_case.py expect=DET003
+"""Deliberate violation: process-global seeding plus an unseeded
+Generator in library code — neither draw replays from a root seed."""
+
+import numpy as np
+
+
+def draw_indices(n):
+    np.random.seed(0)
+    rng = np.random.default_rng()
+    return rng.choice(n, size=10, replace=False)

@@ -1,0 +1,11 @@
+# lint-fixture: rel=bagged/plan_case.py expect=none
+"""Clean counterpart: the stream is a pure function of (root, index)."""
+
+import numpy as np
+
+from repro.utils.rng import spawn_seed
+
+
+def draw_indices(n, root_seed, index):
+    rng = np.random.default_rng(spawn_seed(root_seed, index))
+    return rng.choice(n, size=10, replace=False)

@@ -1,0 +1,1 @@
+"""Tests for the bagged subsampled-CV selection subsystem."""

@@ -1,0 +1,89 @@
+"""Log-space aggregation of per-subsample bandwidths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bagged.aggregate import (
+    AGGREGATORS,
+    SubsampleOutcome,
+    aggregate_bandwidths,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAggregateBandwidths:
+    def test_mean_log_is_geometric_mean(self) -> None:
+        values = [0.1, 0.4]
+        assert aggregate_bandwidths(values) == pytest.approx(0.2)
+
+    def test_median_log_is_order_statistic(self) -> None:
+        values = [0.1, 0.2, 10.0]
+        assert aggregate_bandwidths(values, aggregate="median-log") == pytest.approx(
+            0.2
+        )
+
+    def test_median_robust_to_one_outlier(self) -> None:
+        clean = [0.2, 0.21, 0.19]
+        dirty = clean + [50.0]
+        med = aggregate_bandwidths(dirty, aggregate="median-log")
+        assert 0.19 <= med <= 0.21
+
+    def test_constant_input_is_identity(self) -> None:
+        for agg in AGGREGATORS:
+            assert aggregate_bandwidths([0.37] * 5, aggregate=agg) == pytest.approx(
+                0.37
+            )
+
+    def test_permutation_invariant(self) -> None:
+        values = np.array([0.11, 0.31, 0.21, 0.17])
+        shuffled = values[[2, 0, 3, 1]]
+        for agg in AGGREGATORS:
+            assert aggregate_bandwidths(values, aggregate=agg) == aggregate_bandwidths(
+                shuffled, aggregate=agg
+            )
+
+    def test_unknown_aggregate_rejected(self) -> None:
+        with pytest.raises(ValidationError, match="mean-log"):
+            aggregate_bandwidths([0.1], aggregate="mode")
+
+    @pytest.mark.parametrize(
+        "values", [[], [[0.1, 0.2]], [0.0, 0.1], [-0.1], [float("nan")]]
+    )
+    def test_degenerate_inputs_rejected(self, values) -> None:
+        with pytest.raises(ValidationError):
+            aggregate_bandwidths(values)
+
+
+class TestSubsampleOutcome:
+    def test_diagnostics_record_is_json_ready(self) -> None:
+        import json
+
+        outcome = SubsampleOutcome(
+            index=3,
+            argmin=7,
+            bandwidth=0.04,
+            rescaled_bandwidth=0.02,
+            score=0.5,
+            attempts=2,
+            bandwidths=np.array([0.03, 0.04]),
+            scores=np.array([0.6, 0.5]),
+        )
+        record = outcome.to_diagnostics()
+        json.dumps(record)  # must not raise
+        assert record["index"] == 3
+        assert record["attempts"] == 2
+        assert record["curve"]["scores"] == [0.6, 0.5]
+
+    def test_curve_can_be_elided(self) -> None:
+        outcome = SubsampleOutcome(
+            index=0,
+            argmin=0,
+            bandwidth=0.1,
+            rescaled_bandwidth=0.1,
+            score=1.0,
+            bandwidths=np.array([0.1]),
+            scores=np.array([1.0]),
+        )
+        assert "curve" not in outcome.to_diagnostics(include_curve=False)

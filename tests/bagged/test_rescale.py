@@ -1,0 +1,88 @@
+"""The n^(-1/5) rescaling primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bagged.rescale import (
+    DEFAULT_RATE_EXPONENT,
+    rate_exponent,
+    rescale_bandwidth,
+    scale_factor,
+    scale_grid,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRateExponent:
+    def test_univariate_is_one_fifth(self) -> None:
+        assert rate_exponent(1) == pytest.approx(0.2)
+        assert DEFAULT_RATE_EXPONENT == pytest.approx(0.2)
+
+    def test_multivariate_rate(self) -> None:
+        assert rate_exponent(2) == pytest.approx(1.0 / 6.0)
+
+    def test_zero_features_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            rate_exponent(0)
+
+
+class TestScaleFactor:
+    def test_known_value(self) -> None:
+        # (100000 / 3125)^(1/5) = 32^(0.2) = 2
+        assert scale_factor(3125, 100_000) == pytest.approx(2.0)
+
+    def test_identity_when_m_equals_n(self) -> None:
+        assert scale_factor(500, 500) == 1.0
+
+    def test_inflation_always_at_least_one(self) -> None:
+        for m, n in [(10, 10), (10, 100), (999, 1000)]:
+            assert scale_factor(m, n) >= 1.0
+
+    def test_m_greater_than_n_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            scale_factor(11, 10)
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.2, 1.5])
+    def test_rate_outside_unit_interval_rejected(self, rate) -> None:
+        with pytest.raises(ValidationError):
+            scale_factor(10, 100, rate=rate)
+
+
+class TestScaleGrid:
+    def test_elementwise_inflation(self) -> None:
+        grid = np.array([0.1, 0.2, 0.4])
+        scaled = scale_grid(grid, 3125, 100_000)
+        assert np.allclose(scaled, grid * 2.0)
+
+    def test_returns_float64_copy(self) -> None:
+        grid = np.array([0.1, 0.2], dtype=np.float32)
+        scaled = scale_grid(grid, 100, 100)
+        assert scaled.dtype == np.float64
+        scaled[0] = 99.0
+        assert grid[0] == pytest.approx(0.1)
+
+
+class TestRescaleBandwidth:
+    def test_inverse_of_scale_factor(self) -> None:
+        h = 0.37
+        m, n = 200, 50_000
+        inflated = h * scale_factor(m, n)
+        assert rescale_bandwidth(inflated, m, n) == pytest.approx(h)
+
+    def test_round_trip_is_exact_for_grid_matched_path(self) -> None:
+        # The selector never round-trips floats (it maps indices), but
+        # the raw estimator should still invert to ~machine precision.
+        h = 0.02
+        back = rescale_bandwidth(h * scale_factor(137, 9999), 137, 9999)
+        assert back == pytest.approx(h, rel=1e-12)
+
+    @pytest.mark.parametrize("h", [0.0, -1.0, float("nan"), float("inf")])
+    def test_degenerate_bandwidths_rejected(self, h) -> None:
+        with pytest.raises(ValidationError):
+            rescale_bandwidth(h, 10, 100)
+
+    def test_custom_rate(self) -> None:
+        # d=2 rate: (m/n)^(1/6)
+        assert rescale_bandwidth(1.0, 1, 64, rate=1.0 / 6.0) == pytest.approx(0.5)

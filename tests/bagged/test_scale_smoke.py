@@ -1,0 +1,58 @@
+"""Nightly scale smoke: bagged selection at n = 10⁶.
+
+Runs only under both the ``scale`` marker (the nightly CI job selects
+``-m scale``) and ``REPRO_SCALE=1`` (so a plain tier-1 ``pytest -x -q``
+skips it even when the marker filter is absent).
+
+The exact sweep at n = 10⁶ would be ~100× the 1479 s the blocked sweep
+takes at n = 10⁵ (BENCH_blockwise.json) — out of reach for any CI box.
+The bagged selector's whole claim is that this n is interactive: r = 20
+subsamples of m = 5000 cost the same as 20 small sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import select_bandwidth
+
+pytestmark = [
+    pytest.mark.scale,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_SCALE", "") in ("", "0"),
+        reason="set REPRO_SCALE=1 to run the n=1,000,000 bagged smoke",
+    ),
+]
+
+N = 1_000_000
+
+
+def test_n1e6_bagged_selection_is_interactive() -> None:
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0.0, 1.0, N)
+    y = 0.5 * x + 10.0 * x**2 + rng.uniform(0.0, 0.5, N)
+
+    start = time.perf_counter()
+    result = select_bandwidth(x, y, method="bagged", root_seed=0)
+    wall = time.perf_counter() - start
+
+    assert result.method == "bagged-cv"
+    bag = result.diagnostics["bagged"]
+    assert bag["n"] == N
+    assert bag["subsample_size"] == 5000  # default m cap engaged
+    assert bag["n_subsamples"] == 20
+    assert np.isfinite(result.score)
+    assert 0.0 < result.bandwidth <= 1.0
+    # "Interactive" means minutes, not the ~40 hours an exact sweep
+    # would extrapolate to; generous bound for loaded CI boxes.
+    assert wall < 600.0
+
+    # Determinism survives scale: the same root seed replays the same
+    # subsample votes without rerunning the whole selection.
+    again = select_bandwidth(x, y, method="bagged", root_seed=0)
+    assert again.bandwidth == result.bandwidth
+    assert np.array_equal(again.scores, result.scores)

@@ -53,11 +53,12 @@ class TestMethodAliasTable:
 
         return dict(_METHOD_ALIASES)
 
-    def test_table_covers_all_three_selectors(self):
+    def test_table_covers_all_four_selectors(self):
         assert set(self._aliases().values()) == {
             "grid",
             "numeric",
             "rule-of-thumb",
+            "bagged",
         }
 
     def test_every_alias_resolves(self, paper_sample_small):
@@ -66,11 +67,13 @@ class TestMethodAliasTable:
             "grid": "grid-search",
             "numeric": "numerical-optimization",
             "rule-of-thumb": "rule-of-thumb",
+            "bagged": "bagged-cv",
         }
         per_canonical_kwargs = {
             "grid": {"n_bandwidths": 5},
             "numeric": {"n_restarts": 1, "maxiter": 20},
             "rule-of-thumb": {},
+            "bagged": {"n_bandwidths": 5, "subsamples": 3},
         }
         for alias, canonical in self._aliases().items():
             res = select_bandwidth(
@@ -84,6 +87,7 @@ class TestMethodAliasTable:
             "grid": {"n_bandwidths": 4},
             "numeric": {"n_restarts": 1, "maxiter": 20},
             "rule-of-thumb": {},
+            "bagged": {"n_bandwidths": 4, "subsamples": 3},
         }
         for alias, canonical in self._aliases().items():
             res = select_bandwidth(

@@ -1,0 +1,89 @@
+"""Chaos: bagged selection over a faulty distributed fleet.
+
+The bagged cell of the distributed-chaos matrix: each subsample sweep
+runs on a fleet whose transports inject a seeded storm of network
+faults, and the bagged ``h_opt`` must stay **bit-for-bit identical** to
+the plain serial-numpy bagged selection — retries and re-dispatches
+never perturb the subsample draws, the inflated grid, or the fold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import select_bandwidth
+from repro.distributed import NetFaultSpec
+from repro.distributed.chaos import seeded_compute_faults
+
+from tests.distributed.conftest import make_chaos_fleet
+
+pytestmark = pytest.mark.chaos
+
+PLAN = dict(subsamples=4, subsample_size=120, root_seed=5)
+
+
+@pytest.fixture(scope="module")
+def bagged_reference(fleet_sample):
+    x, y = fleet_sample
+    return select_bandwidth(
+        x, y, method="bagged", n_bandwidths=15, **PLAN
+    )
+
+
+def _run_bagged_over_fleet(fleet_sample, fleet, fast_config):
+    x, y = fleet_sample
+    try:
+        return select_bandwidth(
+            x,
+            y,
+            method="bagged",
+            n_bandwidths=15,
+            backend="distributed",
+            fleet=fleet,
+            coordinator_config=fast_config,
+            block_rows=30,
+            **PLAN,
+        )
+    finally:
+        fleet.close()
+
+
+class TestBaggedOverChaosFleet:
+    def test_healthy_fleet_matches_serial(
+        self, fleet_sample, fast_config, bagged_reference
+    ):
+        fleet = make_chaos_fleet(2, lambda wid: ())
+        res = _run_bagged_over_fleet(fleet_sample, fleet, fast_config)
+        assert res.bandwidth == bagged_reference.bandwidth
+        assert np.array_equal(res.scores, bagged_reference.scores)
+
+    def test_seeded_fault_storm_is_bit_exact(
+        self, fleet_sample, fast_config, chaos_seed, bagged_reference
+    ):
+        # The CI matrix entry (REPRO_CHAOS_SEED 0/1/2): every compute
+        # fault kind at once, yet h_opt is the serial answer to the bit.
+        fleet = make_chaos_fleet(
+            3,
+            lambda wid: seeded_compute_faults(
+                chaos_seed,
+                wid,
+                n_blocks=16,
+                kinds=("drop", "hang", "duplicate", "corrupt"),
+                rate=0.3,
+            ),
+        )
+        res = _run_bagged_over_fleet(fleet_sample, fleet, fast_config)
+        assert res.bandwidth == bagged_reference.bandwidth
+        assert np.array_equal(res.scores, bagged_reference.scores)
+        assert res.diagnostics["bagged"] == bagged_reference.diagnostics["bagged"]
+
+    def test_dead_fleet_degrades_losslessly(
+        self, fleet_sample, fast_config, bagged_reference
+    ):
+        # Workers die on their first exchange; every subsample sweep
+        # falls back to local blocks — still byte-identical.
+        fleet = make_chaos_fleet(2, lambda wid: (NetFaultSpec("die", at=(1,)),))
+        res = _run_bagged_over_fleet(fleet_sample, fleet, fast_config)
+        assert res.bandwidth == bagged_reference.bandwidth
+        assert np.array_equal(res.scores, bagged_reference.scores)

@@ -57,6 +57,42 @@ class TestParseByteBudget:
         with pytest.raises(ValidationError):
             parse_byte_budget(True)
 
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("1.5GiB", int(1.5 * 1024**3)),
+            ("1.5GB", int(1.5 * 1024**3)),  # bare GB is binary too
+            ("0.5tb", 1024**4 // 2),
+            ("2.75MiB", int(2.75 * 1024**2)),
+            ("1.5gIb", int(1.5 * 1024**3)),  # unit case-insensitive
+            ("2.9b", 2),  # fractional bytes truncate toward zero
+        ],
+    )
+    def test_fractional_binary_units(self, raw, expected) -> None:
+        assert parse_byte_budget(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "1.5.5GB",   # two decimal points
+            "GB2",       # unit before the number
+            "two GB",    # spelled-out magnitude
+            "1,000",     # thousands separator
+            "1_000",     # underscore separator (int() would take it)
+            "+2GB",      # explicit sign
+            "2 giga",    # unknown unit
+            "0x400",     # hex
+            "nan",
+            "infGiB",
+        ],
+    )
+    def test_more_unparseable_spellings(self, raw) -> None:
+        with pytest.raises(ValidationError) as info:
+            parse_byte_budget(raw)
+        # Typed, self-describing error — not a bare ValueError from int().
+        assert info.value.code == "REPRO_VALIDATION"
+        assert repr(raw) in str(info.value)
+
 
 class TestResolveBudget:
     def test_explicit_beats_environment(self, monkeypatch) -> None:
@@ -79,6 +115,29 @@ class TestResolveBudget:
         monkeypatch.setenv(MEMORY_BUDGET_ENV, "lots")
         with pytest.raises(ValidationError):
             resolve_budget()
+
+    def test_explicit_budget_never_consults_environment(self, monkeypatch) -> None:
+        # A broken env var must not poison calls that pass their own
+        # budget: the argument short-circuits before the env is read.
+        monkeypatch.setenv(MEMORY_BUDGET_ENV, "not-a-budget")
+        assert resolve_budget("64MiB") == 64 * 1024**2
+
+    def test_invalid_explicit_budget_raises_despite_valid_env(
+        self, monkeypatch
+    ) -> None:
+        # Precedence is strict: an invalid argument is the caller's bug
+        # and must not silently fall back to the (valid) environment.
+        monkeypatch.setenv(MEMORY_BUDGET_ENV, "64MiB")
+        with pytest.raises(ValidationError):
+            resolve_budget("lots")
+
+    def test_fractional_env_budget(self, monkeypatch) -> None:
+        monkeypatch.setenv(MEMORY_BUDGET_ENV, "1.5GiB")
+        assert resolve_budget() == int(1.5 * 1024**3)
+
+    def test_tab_newline_environment_is_ignored(self, monkeypatch) -> None:
+        monkeypatch.setenv(MEMORY_BUDGET_ENV, "\t\n")
+        assert resolve_budget() == DEFAULT_MEMORY_BUDGET
 
 
 class TestRowsForBudget:

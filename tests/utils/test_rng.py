@@ -1,0 +1,96 @@
+"""Tests for the centralised seeded-RNG helpers (repro.utils.rng)."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import (
+    derive_rng,
+    derive_seed_sequence,
+    spawn_rngs,
+    spawn_seed,
+    spawn_seeds,
+)
+
+
+class TestDeriveSeedSequence:
+    def test_deterministic(self):
+        a = derive_seed_sequence(7, "site.a")
+        b = derive_seed_sequence(7, "site.a")
+        assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_distinct_parts_distinct_streams(self):
+        a = derive_seed_sequence(7, "site.a")
+        b = derive_seed_sequence(7, "site.b")
+        assert a.generate_state(4).tolist() != b.generate_state(4).tolist()
+
+    def test_distinct_roots_distinct_streams(self):
+        a = derive_seed_sequence(7, "site")
+        b = derive_seed_sequence(8, "site")
+        assert a.generate_state(4).tolist() != b.generate_state(4).tolist()
+
+    def test_bit_compatible_with_crc32_construction(self):
+        # The helper must reproduce the ad-hoc constructions it replaced,
+        # so recorded fault/backoff schedules replay unchanged.
+        site = "pool.worker"
+        old = np.random.SeedSequence([3, zlib.crc32(site.encode()) & 0xFFFFFFFF])
+        new = derive_seed_sequence(3, site)
+        assert old.generate_state(8).tolist() == new.generate_state(8).tolist()
+
+    def test_int_parts_pass_through(self):
+        old = np.random.SeedSequence([11, 0x5E7B])
+        new = derive_seed_sequence(11, 0x5E7B)
+        assert old.generate_state(8).tolist() == new.generate_state(8).tolist()
+
+    def test_derive_rng_matches_sequence(self):
+        rng = derive_rng(5, "x")
+        ref = np.random.default_rng(derive_seed_sequence(5, "x"))
+        assert rng.random(4).tolist() == ref.random(4).tolist()
+
+
+class TestSpawnSeeds:
+    def test_order_independent(self):
+        # Child i is a pure function of (root, i): asking for child 7
+        # directly equals taking element 7 of a batch.
+        direct = spawn_seed(123, 7)
+        batch = spawn_seeds(123, 10)[7]
+        assert direct.generate_state(4).tolist() == batch.generate_state(4).tolist()
+
+    def test_children_distinct(self):
+        states = {tuple(s.generate_state(2).tolist()) for s in spawn_seeds(0, 50)}
+        assert len(states) == 50
+
+    def test_child_differs_from_root(self):
+        root = np.random.SeedSequence(9)
+        child = spawn_seed(9, 0)
+        assert root.generate_state(4).tolist() != child.generate_state(4).tolist()
+
+    def test_spawn_key_construction(self):
+        # Pinned to SeedSequence(root, spawn_key=(i,)) — the documented
+        # contract that makes draws replayable across versions.
+        ref = np.random.SeedSequence(42, spawn_key=(3,))
+        assert spawn_seed(42, 3).generate_state(4).tolist() == ref.generate_state(
+            4
+        ).tolist()
+
+    def test_count_zero_is_empty(self):
+        assert spawn_seeds(1, 0) == ()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_seed(1, -1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_seeds(1, -2)
+
+    def test_spawn_rngs_match_seeds(self):
+        rngs = spawn_rngs(77, 3)
+        seeds = spawn_seeds(77, 3)
+        for rng, seed in zip(rngs, seeds):
+            ref = np.random.default_rng(seed)
+            assert rng.random(3).tolist() == ref.random(3).tolist()
