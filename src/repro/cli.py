@@ -113,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled", "distributed"],
+        choices=["numpy", "python", "multicore", "compiled", "blocked", "blocked-shm", "blocked-compiled", "gpusim", "gpusim-tiled", "distributed"],
     )
     sel.add_argument(
         "--workers",
@@ -229,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled", "distributed"],
+        choices=["numpy", "python", "multicore", "compiled", "blocked", "blocked-shm", "blocked-compiled", "gpusim", "gpusim-tiled", "distributed"],
     )
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
@@ -269,7 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="numpy",
-        choices=["numpy", "python", "multicore", "blocked", "blocked-shm", "gpusim", "gpusim-tiled", "distributed"],
+        choices=["numpy", "python", "multicore", "compiled", "blocked", "blocked-shm", "blocked-compiled", "gpusim", "gpusim-tiled", "distributed"],
     )
     srv.add_argument(
         "--no-model",
@@ -613,6 +613,7 @@ def _cmd_workers(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(_: argparse.Namespace) -> int:
+    import repro.compiled.backend  # noqa: F401 - registers the compiled pair
     import repro.cuda_port  # noqa: F401 - registers the gpusim backend
     import repro.distributed.backend  # noqa: F401 - registers "distributed"
     from repro.bench import PROGRAMS
@@ -641,6 +642,17 @@ def _cmd_info(_: argparse.Namespace) -> int:
         "memory budget  :",
         f"{budget:,} B ({budget / 1024**2:.0f} MiB, {source}) for the "
         "blocked/blocked-shm sweep",
+    )
+    from repro.compiled import capability
+    from repro.utils.calibration import calibration_source, host_bytes_per_second
+
+    cap = capability()
+    print("compiled engine:", f"{cap.implementation} ({cap.reason})")
+    rate = host_bytes_per_second()
+    print(
+        "host bandwidth :",
+        f"{rate / 1e9:.2f} GB/s ({calibration_source()}) for sweep-time "
+        "estimates",
     )
     defaults = ServingConfig()
     cache = ArtifactCache(None)

@@ -1,0 +1,279 @@
+"""Public surface of the compiled fast-grid engine.
+
+Drop-in counterparts of the :mod:`repro.core.fastgrid` entry points, all
+routed through one dispatch:
+
+* when the capability probe succeeded, the scalar-loop kernels in
+  :mod:`repro.compiled.kernels` run under numba's ``njit`` (IEEE-strict:
+  ``fastmath`` stays off, because byte-identity with numpy is the
+  contract, and ``cache=True`` so recompiles amortise across processes);
+* otherwise they fall back to the vectorised numpy reference — the same
+  arithmetic, so float64 results are byte-identical either way.
+
+Warm-up is explicit and observable: the first use of a dtype compiles the
+kernel under a ``compiled.jit_warmup`` span, and the canonical call paths
+(the ``compiled``/``blocked-compiled`` backends, :func:`cv_scores_compiled`)
+warm *before* opening any per-block span, so JIT latency is never booked
+against a block.  Per-block work runs under ``compiled.block``.
+
+Chaos hook: every :func:`window_sums` call fires the ``compiled.jit``
+fault site first, so an injected ``nojit`` fault surfaces as the typed
+``REPRO_COMPILED_UNAVAILABLE`` — which the resilience chain degrades
+losslessly (``compiled -> numpy``, ``blocked-compiled -> blocked``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.compiled import capability as _capability
+from repro.compiled import kernels as _kernels
+from repro.exceptions import CompiledUnavailableError, ValidationError
+from repro.kernels import Kernel
+from repro.obs.tracer import current_tracer
+from repro.resilience import faults
+from repro.utils.numeric import fold_rows
+
+__all__ = [
+    "compiled_block_sums",
+    "compiled_row_contributions",
+    "cv_scores_compiled",
+    "implementation",
+    "jit_available",
+    "refresh",
+    "require_available",
+    "warmup",
+    "window_sums",
+]
+
+#: Jitted kernels by dtype name, built lazily on first warm-up.
+_JITTED: dict[str, Callable[..., None]] | None = None
+
+#: Dtypes whose kernel has been compiled (or fallback-warmed) already.
+_WARMED: set[str] = set()
+
+_KERNEL_SOURCES: dict[str, Callable[..., None]] = {
+    "float64": _kernels.window_sums_f64,
+    "float32": _kernels.window_sums_f32,
+}
+
+
+def implementation() -> str:
+    """``"numba"`` or ``"numpy"`` — what backs the compiled engine now."""
+    return _capability.capability().implementation
+
+
+def jit_available() -> bool:
+    """Whether the numba JIT backs the compiled engine in this process."""
+    return _capability.capability().available
+
+
+def require_available() -> None:
+    """Raise ``REPRO_COMPILED_UNAVAILABLE`` unless the JIT is active.
+
+    The ``require_jit=True`` backend option funnels here: callers that
+    *demand* compiled execution (a perf harness, a bench gate) get a typed
+    structural failure instead of a silent — if byte-identical — fallback.
+    """
+    cap = _capability.capability()
+    if not cap.available:
+        raise CompiledUnavailableError(cap.reason)
+
+
+def refresh(
+    importer: Callable[[str], Any] | None = None,
+    env: Any | None = None,
+) -> _capability.Capability:
+    """Re-probe the capability and drop all jitted/warm state.
+
+    The test hook behind the fallback suite: simulate a numba-less import
+    (or ``REPRO_COMPILED=0``) and the next call recompiles — or falls
+    back — from scratch.
+    """
+    global _JITTED
+    cap = _capability.refresh(importer, env)
+    _JITTED = None
+    _WARMED.clear()
+    return cap
+
+
+def _jitted() -> dict[str, Callable[..., None]]:
+    """Build (once) the njit-compiled kernel table."""
+    global _JITTED
+    if _JITTED is None:
+        import numba
+
+        # fastmath stays False: reassociation would break byte-identity
+        # with numpy.  nogil lets future callers overlap blocks in threads.
+        jit = numba.njit(cache=True, nogil=True, fastmath=False)
+        _JITTED = {
+            name: jit(source) for name, source in _KERNEL_SOURCES.items()
+        }
+    return _JITTED
+
+
+def _dtype_key(dtype: str | np.dtype) -> str:
+    key = str(np.dtype(dtype))
+    if key not in _KERNEL_SOURCES:
+        raise ValidationError(
+            f"compiled engine supports float32/float64, got {key!r}"
+        )
+    return key
+
+
+def warmup(dtype: str | np.dtype = "float64") -> str:
+    """Compile (or fallback-warm) the kernel for ``dtype``; idempotent.
+
+    Emits one ``compiled.jit_warmup`` span per (process, dtype) — on the
+    fallback it still appears (with ``implementation="numpy"``) so trace
+    consumers see a uniform shape.  Returns the implementation name.
+
+    The canonical call paths warm *before* any per-block span opens; the
+    perf guard in the test suite asserts no ``compiled.jit_warmup`` span
+    is ever a descendant of a block span.
+    """
+    key = _dtype_key(dtype)
+    impl = implementation()
+    if key in _WARMED:
+        return impl
+    with current_tracer().span(
+        "compiled.jit_warmup", dtype=key, implementation=impl
+    ):
+        if impl == "numba":
+            fn = _jitted()[key]
+            # A two-point, one-bandwidth call compiles every branch cheaply.
+            fn(
+                np.zeros(1, dtype=np.float64),
+                np.array([0.0, 1.0], dtype=np.float64),
+                np.array([0.0, 1.0], dtype=np.float64),
+                np.ones(1, dtype=np.float64),
+                np.ones(1, dtype=np.float64),
+                np.array([0, 2], dtype=np.int64),
+                np.array([0.75, -0.75], dtype=np.float64),
+                np.zeros((1, 1), dtype=np.float64),
+                np.zeros((1, 1), dtype=np.float64),
+            )
+        _WARMED.add(key)
+    return impl
+
+
+def window_sums(
+    x_block: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    grid: np.ndarray,
+    kern: Kernel,
+    np_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compiled counterpart of ``fastgrid._window_sums_for_block``.
+
+    Same signature, same ``(num, den)`` float64 output — byte-identical in
+    float64, tolerance-contracted in float32.  Falls back to the numpy
+    reference when the JIT is unavailable.
+    """
+    faults.fire("compiled.jit", f"block[rows={int(x_block.shape[0])}]")
+    if not _capability.capability().available:
+        from repro.core.fastgrid import _window_sums_for_block
+
+        return _window_sums_for_block(x_block, x, y, grid, kern, np_dtype)
+    key = _dtype_key(np_dtype)
+    if key not in _WARMED:
+        warmup(key)
+    fn = _jitted()[key]
+    terms = kern.poly_terms or ()
+    powers = np.array([t.power for t in terms], dtype=np.int64)
+    coeffs = np.array([t.coefficient for t in terms], dtype=np.float64)
+    boundaries = grid * kern.support_radius
+    m = int(x_block.shape[0])
+    k = int(grid.shape[0])
+    num = np.zeros((m, k), dtype=np.float64)
+    den = np.zeros((m, k), dtype=np.float64)
+    with current_tracer().span("compiled.block", rows=m, k=k, dtype=key):
+        fn(
+            np.ascontiguousarray(x_block, dtype=np.float64),
+            np.ascontiguousarray(x, dtype=np.float64),
+            np.ascontiguousarray(y, dtype=np.float64),
+            boundaries,
+            grid,
+            powers,
+            coeffs,
+            num,
+            den,
+        )
+    return num, den
+
+
+def compiled_row_contributions(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel_name: str,
+    start: int,
+    stop: int,
+    dtype: str = "float64",
+) -> np.ndarray:
+    """Drop-in for :func:`repro.core.fastgrid.fastgrid_row_contributions`.
+
+    Top-level (hence picklable): pool and engine work units can ship it to
+    forked workers exactly like the numpy original.  Partition-invariant
+    for the same reason the original is — each row sees the whole sample.
+    """
+    from repro.core.fastgrid import fastgrid_row_contributions
+
+    return fastgrid_row_contributions(
+        x, y, bandwidths, kernel_name, start, stop, dtype, engine="compiled"
+    )
+
+
+def compiled_block_sums(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel_name: str,
+    start: int,
+    stop: int,
+    dtype: str = "float64",
+) -> np.ndarray:
+    """Drop-in for :func:`repro.core.fastgrid.fastgrid_block_sums`.
+
+    The resilient engine's work unit for the ``compiled`` and
+    ``blocked-compiled`` candidates: identical block partials to the numpy
+    unit (float64), which is what makes the degradation spur lossless.
+    """
+    return fold_rows(
+        compiled_row_contributions(
+            x, y, bandwidths, kernel_name, start, stop, dtype
+        )
+    )
+
+
+def cv_scores_compiled(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidths: np.ndarray,
+    kernel: str | Kernel = "epanechnikov",
+    *,
+    chunk_rows: int | None = None,
+    dtype: str = "float64",
+) -> np.ndarray:
+    """Whole-grid CV scores on the compiled engine.
+
+    Warm-up happens here, before the sweep's first block span, then the
+    shared chunked driver runs with ``engine="compiled"`` — same strict
+    row-order fold, same traced Neumaier shadow, byte-identical float64
+    curves.
+    """
+    from repro.core.fastgrid import cv_scores_fastgrid
+
+    warmup(dtype)
+    return cv_scores_fastgrid(
+        x,
+        y,
+        bandwidths,
+        kernel,
+        chunk_rows=chunk_rows,
+        dtype=dtype,
+        engine="compiled",
+    )

@@ -1,0 +1,124 @@
+"""Capability probe for the compiled (numba) fast-grid engine.
+
+The decision "can this process JIT the hot path?" is made **once, at
+import time**, and cached as a frozen :class:`Capability` — so every later
+call site (backends, the resilient engine, serving) sees one consistent
+answer instead of racing their own imports.  Two inputs:
+
+* the ``REPRO_COMPILED`` environment variable — ``0``/``false``/``off``/
+  ``no`` disables the JIT outright (the escape hatch for debugging a
+  suspected codegen issue, or for forcing the fallback leg in CI);
+* an import probe for ``numba`` itself.
+
+Failure is **not an error**: the probe returns an unavailable capability
+carrying the human-readable reason, and the engine silently uses the
+numpy implementation, which is byte-identical in float64.  A caller that
+*demands* the JIT (``require_jit=True``) gets a typed
+``REPRO_COMPILED_UNAVAILABLE`` failure instead — see
+:func:`repro.compiled.api.require_available`.
+
+The importer is injectable (and :func:`refresh` re-runs the probe) so the
+fallback test suite can simulate a numba-less interpreter inside a
+process that may actually have numba installed — and vice versa.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "COMPILED_ENV",
+    "Capability",
+    "capability",
+    "jit_available",
+    "probe",
+    "refresh",
+]
+
+#: Environment variable gating the JIT; falsy values force the fallback.
+COMPILED_ENV = "REPRO_COMPILED"
+
+_DISABLING_VALUES = frozenset({"0", "false", "off", "no"})
+
+
+@dataclass(frozen=True)
+class Capability:
+    """Outcome of one probe: which implementation this process will run."""
+
+    #: True when the numba JIT is importable and not disabled.
+    available: bool
+    #: ``"numba"`` or ``"numpy"`` — what :mod:`repro.compiled.api` executes.
+    implementation: str
+    #: Human-readable why (shown by ``repro info`` and in error messages).
+    reason: str
+    #: numba's version string when available.
+    numba_version: str | None = None
+
+
+def probe(
+    importer: Callable[[str], Any] | None = None,
+    env: Mapping[str, str] | None = None,
+) -> Capability:
+    """Run one capability probe; pure — does not touch module state.
+
+    ``importer`` defaults to :func:`importlib.import_module`; tests pass a
+    raising stand-in to simulate an absent numba.  ``env`` defaults to
+    ``os.environ``.
+    """
+    environ: Mapping[str, str] = os.environ if env is None else env
+    raw = environ.get(COMPILED_ENV, "")
+    if raw.strip().lower() in _DISABLING_VALUES:
+        return Capability(
+            available=False,
+            implementation="numpy",
+            reason=f"JIT disabled by {COMPILED_ENV}={raw.strip()!r}",
+        )
+    load = importer if importer is not None else importlib.import_module
+    try:
+        numba = load("numba")
+    except Exception as exc:
+        # Any import failure — missing package, broken install, llvmlite
+        # ABI mismatch — means the same thing: no JIT in this process.
+        # The reason is preserved for `repro info` / require_available().
+        return Capability(
+            available=False,
+            implementation="numpy",
+            reason=f"numba unavailable: {exc}",
+        )
+    version = str(getattr(numba, "__version__", "unknown"))
+    return Capability(
+        available=True,
+        implementation="numba",
+        reason=f"numba {version}",
+        numba_version=version,
+    )
+
+
+_CAPABILITY: Capability = probe()
+
+
+def capability() -> Capability:
+    """The capability selected for this process (probed once at import)."""
+    return _CAPABILITY
+
+
+def jit_available() -> bool:
+    """Whether the numba JIT backs the compiled engine in this process."""
+    return _CAPABILITY.available
+
+
+def refresh(
+    importer: Callable[[str], Any] | None = None,
+    env: Mapping[str, str] | None = None,
+) -> Capability:
+    """Re-run the probe and install the result (test/diagnostic hook).
+
+    Callers that cache jitted functions must also drop them —
+    :func:`repro.compiled.api.refresh` does both; prefer it.
+    """
+    global _CAPABILITY
+    _CAPABILITY = probe(importer, env)
+    return _CAPABILITY

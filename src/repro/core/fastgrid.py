@@ -41,16 +41,32 @@ from repro.exceptions import ValidationError
 from repro.kernels import Kernel, get_kernel
 from repro.obs.tracer import current_tracer
 from repro.utils.chunking import chunk_slices, suggest_chunk_rows
-from repro.utils.numeric import fold_rows
+from repro.utils.numeric import fold_rows, int_power
 from repro.utils.validation import check_paired_samples, ensure_bandwidths
 
 __all__ = [
+    "FASTGRID_ENGINES",
     "cv_scores_fastgrid",
     "cv_scores_fastgrid_python",
     "fastgrid_block_sums",
     "fastgrid_row_contributions",
     "require_fast_grid_kernel",
 ]
+
+#: Interchangeable per-block window-sum implementations.  ``numpy`` is the
+#: vectorised reference; ``compiled`` routes through
+#: :mod:`repro.compiled` (numba-jitted scalar loops, byte-identical in
+#: float64, silently numpy-backed when the JIT is unavailable).
+FASTGRID_ENGINES: tuple[str, ...] = ("numpy", "compiled")
+
+
+def _resolve_engine(engine: str) -> str:
+    if engine not in FASTGRID_ENGINES:
+        raise ValidationError(
+            f"unknown fast-grid engine {engine!r}; "
+            f"known: {', '.join(FASTGRID_ENGINES)}"
+        )
+    return engine
 
 
 def require_fast_grid_kernel(kernel: str | Kernel) -> Kernel:
@@ -182,7 +198,11 @@ def _window_sums_for_block(
                 d_pow = None  # weight 1 per element
                 yw = np.broadcast_to(y, (m, n)).ravel()
             else:
-                d_pow = dist**term.power
+                # int_power, not dist**p: numpy's SIMD pow differs from
+                # scalar libm by an ulp, so the exactly-rounded multiply
+                # chain is the only form the compiled engine can mirror
+                # byte-for-byte (see utils.numeric.int_power).
+                d_pow = int_power(dist, term.power)
                 yw = (y[None, :] * d_pow).ravel()
             hist_d = np.bincount(
                 flat_bins,
@@ -194,7 +214,9 @@ def _window_sums_for_block(
             ).reshape(m, k + 1)[:, :k]
             s_d = np.cumsum(hist_d, axis=1)
             s_yd = np.cumsum(hist_yd, axis=1)
-            scale = term.coefficient / (h_cols**term.power if term.power else 1.0)
+            scale = term.coefficient / (
+                int_power(h_cols, term.power) if term.power else 1.0
+            )
             num += scale * s_yd
             den += scale * s_d
     return num, den
@@ -208,6 +230,7 @@ def fastgrid_row_contributions(
     start: int,
     stop: int,
     dtype: str = "float64",
+    engine: str = "numpy",
 ) -> np.ndarray:
     """Per-observation squared-residual k-vectors for rows ``[start, stop)``.
 
@@ -225,8 +248,14 @@ def fastgrid_row_contributions(
     This is the unit of work for the out-of-core blockwise engine: the
     block's working set is O(B·n + B·k) while the full sweep never
     materialises anything n×n.
+
+    ``engine`` selects the window-sum implementation (see
+    :data:`FASTGRID_ENGINES`); the leave-one-out correction and residual
+    reduction below are shared, so ``engine="compiled"`` changes only how
+    ``(num, den)`` are produced — and not a single float64 bit of them.
     """
     kern = require_fast_grid_kernel(kernel_name)
+    engine = _resolve_engine(engine)
     grid = np.asarray(bandwidths, dtype=float)
     np_dtype = np.dtype(dtype)
     x = np.asarray(x)
@@ -239,7 +268,14 @@ def fastgrid_row_contributions(
     y_block = y[start:stop]
     tracer = current_tracer()
     with tracer.span("block", start=start, stop=stop):
-        num, den = _window_sums_for_block(x_block, x, y, grid, kern, np_dtype)
+        if engine == "compiled":
+            from repro.compiled.api import window_sums as _compiled_sums
+
+            num, den = _compiled_sums(x_block, x, y, grid, kern, np_dtype)
+        else:
+            num, den = _window_sums_for_block(
+                x_block, x, y, grid, kern, np_dtype
+            )
 
         # Leave-one-out correction: observation i appears in its own window
         # at every bandwidth with distance 0, touching only the power-0 term.
@@ -270,6 +306,7 @@ def fastgrid_block_sums(
     start: int,
     stop: int,
     dtype: str = "float64",
+    engine: str = "numpy",
 ) -> np.ndarray:
     """Squared-residual sums over observations ``[start, stop)``.
 
@@ -286,7 +323,7 @@ def fastgrid_block_sums(
     """
     return fold_rows(
         fastgrid_row_contributions(
-            x, y, bandwidths, kernel_name, start, stop, dtype
+            x, y, bandwidths, kernel_name, start, stop, dtype, engine
         )
     )
 
@@ -299,6 +336,7 @@ def cv_scores_fastgrid(
     *,
     chunk_rows: int | None = None,
     dtype: str = "float64",
+    engine: str = "numpy",
 ) -> np.ndarray:
     """Vectorised fast grid search over a whole bandwidth grid.
 
@@ -317,6 +355,7 @@ def cv_scores_fastgrid(
     x, y = check_paired_samples(x, y)
     grid = ensure_bandwidth_grid(bandwidths)
     kern = require_fast_grid_kernel(kernel)
+    engine = _resolve_engine(engine)
     n = x.shape[0]
     rows = chunk_rows or suggest_chunk_rows(
         n, working_arrays=4 + len(kern.poly_terms)
@@ -325,12 +364,12 @@ def cv_scores_fastgrid(
     sq_sums = np.zeros(grid.shape[0], dtype=np.float64)
     with tracer.span(
         "fastgrid", n=n, k=grid.shape[0], kernel=kern.name, dtype=dtype,
-        chunk_rows=rows,
+        chunk_rows=rows, engine=engine,
     ):
         if not tracer.enabled:
             for sl in chunk_slices(n, rows):
                 contrib = fastgrid_row_contributions(
-                    x, y, grid, kern.name, sl.start, sl.stop, dtype
+                    x, y, grid, kern.name, sl.start, sl.stop, dtype, engine
                 )
                 fold_rows(contrib, sq_sums)
         else:
@@ -341,7 +380,7 @@ def cv_scores_fastgrid(
             comp = np.zeros_like(sq_sums)
             for sl in chunk_slices(n, rows):
                 contrib = fastgrid_row_contributions(
-                    x, y, grid, kern.name, sl.start, sl.stop, dtype
+                    x, y, grid, kern.name, sl.start, sl.stop, dtype, engine
                 )
                 for row in contrib:
                     acc = sq_sums + row

@@ -1,0 +1,158 @@
+"""Host memory-bandwidth calibration: one source of truth for bytes/s.
+
+"As fast as the hardware allows" is only meaningful against a *measured*
+ceiling.  ``benchmarks/bench_roofline.py`` ports the memory-bandwidth
+microbenchmark idiom (reframe's ``memory_bandwidth.cu`` + its ReFrame
+harness) to the host: it measures copy/scale/add/triad streaming
+bandwidth and records the peak into ``BENCH_roofline.json``.  This
+module is the *consumer* side — every subsystem that needs a host
+bytes/s figure (the membudget planner's sweep-time estimate, the gpusim
+timing model's host-transfer phases, the roofline report itself) funnels
+through :func:`host_bytes_per_second` instead of hardcoding its own
+constant, so they can never drift apart.
+
+Resolution precedence (mirrors the membudget precedence contract):
+
+1. an explicit ``bytes_per_second=`` argument,
+2. the measured peak in a ``BENCH_roofline.json`` artifact — located via
+   an explicit ``roofline=`` path, ``$REPRO_ROOFLINE``, or the current
+   working directory,
+3. the builtin conservative default (:data:`DEFAULT_HOST_BYTES_PER_SECOND`).
+
+Artifact reads are tolerant: a missing, malformed, or schema-skewed file
+silently falls through to the default — calibration must degrade to
+"use the conservative constant", never to "fail the sweep".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_HOST_BYTES_PER_SECOND",
+    "ROOFLINE_ARTIFACT",
+    "ROOFLINE_ENV",
+    "calibration_source",
+    "host_bytes_per_second",
+    "load_roofline",
+    "roofline_path",
+]
+
+#: Environment variable pointing at a roofline artifact (file or its dir).
+ROOFLINE_ENV = "REPRO_ROOFLINE"
+
+#: Canonical artifact filename written by ``benchmarks/bench_roofline.py``.
+ROOFLINE_ARTIFACT = "BENCH_roofline.json"
+
+#: Conservative builtin default: 10 GB/s — a single DDR4 channel's worth,
+#: deliberately below any machine this library targets so an uncalibrated
+#: estimate over-predicts time rather than under-predicting it.
+DEFAULT_HOST_BYTES_PER_SECOND: float = 10.0e9
+
+
+def roofline_path(path: str | Path | None = None) -> Path | None:
+    """Locate the roofline artifact: explicit path > ``$REPRO_ROOFLINE`` > cwd.
+
+    A directory (explicit or from the environment) means "the canonical
+    artifact inside it".  Returns ``None`` when no candidate exists on
+    disk — the caller falls through to the builtin default.
+    """
+    candidates: list[Path] = []
+    if path is not None:
+        candidates.append(Path(path))
+    env = os.environ.get(ROOFLINE_ENV)
+    if env is not None and env.strip():
+        candidates.append(Path(env))
+    candidates.append(Path.cwd() / ROOFLINE_ARTIFACT)
+    for candidate in candidates:
+        if candidate.is_dir():
+            candidate = candidate / ROOFLINE_ARTIFACT
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_roofline(path: str | Path | None = None) -> dict[str, Any] | None:
+    """Parse the roofline artifact, or ``None`` when absent/unreadable."""
+    located = roofline_path(path)
+    if located is None:
+        return None
+    try:
+        payload = json.loads(located.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _artifact_peak(payload: dict[str, Any]) -> float | None:
+    """Extract the measured peak bytes/s from an artifact payload.
+
+    Prefers the explicit ``host.peak_bytes_per_second`` field; falls back
+    to the max over ``host.streams`` (copy/scale/add/triad) so older or
+    hand-trimmed artifacts still calibrate.
+    """
+    host = payload.get("host")
+    if not isinstance(host, dict):
+        return None
+    peak = host.get("peak_bytes_per_second")
+    if isinstance(peak, (int, float)) and float(peak) > 0.0:
+        return float(peak)
+    streams = host.get("streams")
+    if isinstance(streams, dict):
+        rates = [
+            float(v)
+            for v in streams.values()
+            if isinstance(v, (int, float)) and float(v) > 0.0
+        ]
+        if rates:
+            return max(rates)
+    return None
+
+
+def host_bytes_per_second(
+    bytes_per_second: float | None = None,
+    *,
+    roofline: str | Path | None = None,
+) -> float:
+    """The calibrated host streaming bandwidth, in bytes per second.
+
+    Precedence: explicit argument > measured ``BENCH_roofline.json``
+    peak > :data:`DEFAULT_HOST_BYTES_PER_SECOND`.
+    """
+    if bytes_per_second is not None:
+        value = float(bytes_per_second)
+        if value <= 0.0:
+            raise ValidationError(
+                f"bytes_per_second must be positive, got {bytes_per_second!r}"
+            )
+        return value
+    payload = load_roofline(roofline)
+    if payload is not None:
+        peak = _artifact_peak(payload)
+        if peak is not None:
+            return peak
+    return DEFAULT_HOST_BYTES_PER_SECOND
+
+
+def calibration_source(
+    bytes_per_second: float | None = None,
+    *,
+    roofline: str | Path | None = None,
+) -> str:
+    """Where :func:`host_bytes_per_second` would take its figure from.
+
+    One of ``"explicit"``, ``"roofline"``, or ``"default"`` — reported by
+    ``repro info`` and recorded into bench artifacts so a reader can tell
+    a measured estimate from a guessed one.
+    """
+    if bytes_per_second is not None:
+        return "explicit"
+    payload = load_roofline(roofline)
+    if payload is not None and _artifact_peak(payload) is not None:
+        return "roofline"
+    return "default"

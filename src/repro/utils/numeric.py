@@ -17,6 +17,7 @@ __all__ = [
     "allclose",
     "compensated_sum",
     "fold_rows",
+    "int_power",
     "is_zero",
     "isclose",
 ]
@@ -50,6 +51,38 @@ def allclose(
 def is_zero(value: float, *, atol: float = FLOAT_ATOL) -> bool:
     """Whether ``value`` is zero up to absolute tolerance."""
     return bool(abs(value) <= atol)
+
+
+def int_power(base: np.ndarray, power: int) -> np.ndarray:
+    """``base ** power`` for integer ``power >= 1`` by square-and-multiply.
+
+    The library's canonical integer power: a left-to-right binary
+    exponentiation over the exponent's bits (MSB first) —
+    ``r = x; then per lower bit: r = r·r, and r = r·x when the bit is
+    set``.  Because every step is an exactly-rounded IEEE multiply, the
+    chain produces the *same bits* whether it runs vectorised here or as
+    a scalar loop — which is what lets the compiled engine
+    (:mod:`repro.compiled.kernels`) reproduce the numpy sweep
+    byte-for-byte at every polynomial power.  numpy's own ``x ** p``
+    cannot serve as the contract: its SIMD ``pow`` differs from scalar
+    libm ``pow`` by an ulp on a few percent of inputs.
+
+    The association order is part of the byte-identity contract; change
+    it here and in the compiled kernels together, or not at all.
+    """
+    if power < 1:
+        raise ValueError(f"int_power requires power >= 1, got {power}")
+    bit = 1
+    while (bit << 1) <= power:
+        bit <<= 1
+    result = base
+    bit >>= 1
+    while bit:
+        result = result * result
+        if power & bit:
+            result = result * base
+        bit >>= 1
+    return result
 
 
 def fold_rows(

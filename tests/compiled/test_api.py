@@ -1,0 +1,195 @@
+"""Compiled-engine unit wall: kernel source, warm-up, capability probe.
+
+The kernels in :mod:`repro.compiled.kernels` are *dual-use*: plain-Python
+executable (so this file can prove the algorithm byte-identical to the
+vectorised numpy reference on an interpreter without numba) and
+numba-jittable unchanged (the CI compiled leg proves the jitted bits).
+Everything here runs on whatever implementation the process probed — the
+assertions are implementation-independent by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiled import api, kernels
+from repro.compiled.capability import Capability, probe
+from repro.core.fastgrid import _window_sums_for_block
+from repro.exceptions import CompiledUnavailableError, ValidationError
+from repro.kernels import fast_grid_kernels, get_kernel
+from repro.obs import Tracer, span_tree, use_tracer
+
+
+def _case(n: int, k: int, seed: int):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 1.0, n))
+    y = np.sin(5.0 * x) + rng.normal(0.0, 0.2, n)
+    spread = float(x[-1] - x[0])
+    grid = np.linspace(0.03 * spread, 0.8 * spread, k)
+    return x, y, grid
+
+
+class TestKernelSourceByteIdentity:
+    """The scalar-loop source vs the vectorised reference, direct call."""
+
+    @pytest.mark.parametrize("kernel", sorted(fast_grid_kernels()))
+    @pytest.mark.parametrize("seed", (0, 3, 11))
+    def test_plain_python_f64_matches_numpy_reference(self, kernel, seed):
+        x, y, grid = _case(40, 7, seed)
+        kern = get_kernel(kernel)
+        ref_num, ref_den = _window_sums_for_block(
+            x[10:25], x, y, grid, kern, np.dtype(np.float64)
+        )
+        num = np.zeros_like(ref_num)
+        den = np.zeros_like(ref_den)
+        terms = kern.poly_terms or ()
+        kernels.window_sums_f64(
+            x[10:25], x, y, grid * kern.support_radius, grid,
+            np.array([t.power for t in terms], dtype=np.int64),
+            np.array([t.coefficient for t in terms], dtype=np.float64),
+            num, den,
+        )
+        assert num.tobytes() == ref_num.tobytes()
+        assert den.tobytes() == ref_den.tobytes()
+
+    @pytest.mark.parametrize("kernel", sorted(fast_grid_kernels()))
+    def test_plain_python_f32_matches_numpy_reference(self, kernel):
+        x, y, grid = _case(36, 6, seed=7)
+        kern = get_kernel(kernel)
+        ref_num, ref_den = _window_sums_for_block(
+            x[:18], x, y, grid, kern, np.dtype(np.float32)
+        )
+        num = np.zeros_like(ref_num)
+        den = np.zeros_like(ref_den)
+        terms = kern.poly_terms or ()
+        kernels.window_sums_f32(
+            x[:18], x, y, grid * kern.support_radius, grid,
+            np.array([t.power for t in terms], dtype=np.int64),
+            np.array([t.coefficient for t in terms], dtype=np.float64),
+            num, den,
+        )
+        # The *documented* float32 contract is rtol=1e-5 (headroom for a
+        # future JIT with fused multiplies); the shared square-and-multiply
+        # chain makes the match exact in practice, so pin the bits here.
+        assert num.tobytes() == ref_num.tobytes()
+        assert den.tobytes() == ref_den.tobytes()
+
+    def test_window_sums_dispatch_matches_reference(self):
+        x, y, grid = _case(30, 5, seed=1)
+        kern = get_kernel("epanechnikov")
+        ref = _window_sums_for_block(
+            x[5:20], x, y, grid, kern, np.dtype(np.float64)
+        )
+        got = api.window_sums(x[5:20], x, y, grid, kern, np.dtype(np.float64))
+        assert got[0].tobytes() == ref[0].tobytes()
+        assert got[1].tobytes() == ref[1].tobytes()
+
+
+class TestWarmup:
+    @pytest.fixture(autouse=True)
+    def fresh_state(self):
+        api.refresh()
+        yield
+        api.refresh()
+
+    def test_warmup_emits_one_span_per_dtype_and_is_idempotent(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            impl = api.warmup("float64")
+            api.warmup("float64")  # second call must be a no-op
+            api.warmup("float32")
+        names = [rec.name for rec, _depth in span_tree(tracer)]
+        assert names.count("compiled.jit_warmup") == 2
+        assert impl in ("numba", "numpy")
+
+    def test_warmup_span_appears_even_on_fallback(self):
+        api.refresh(importer=_raise_import_error)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            impl = api.warmup("float64")
+        assert impl == "numpy"
+        spans = [rec for rec, _d in span_tree(tracer)]
+        warm = [s for s in spans if s.name == "compiled.jit_warmup"]
+        assert len(warm) == 1
+        assert warm[0].attributes["implementation"] == "numpy"
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValidationError, match="float32/float64"):
+            api.warmup("int64")
+        with pytest.raises(ValidationError):
+            api.warmup("float16")
+
+    @pytest.mark.perf
+    def test_warmup_never_nested_under_a_block_span(self):
+        """JIT latency must land in its own span, not a per-block one.
+
+        The overhead guard: ``cv_scores_compiled`` warms before the sweep
+        opens, so no ``compiled.jit_warmup`` record may have a ``block``
+        or ``compiled.block`` ancestor — otherwise the first block's
+        timing (and its retry deadline under resilience) would silently
+        absorb compilation time.
+        """
+        x, y, grid = _case(40, 6, seed=2)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            api.cv_scores_compiled(x, y, grid, "epanechnikov")
+        stack: list[tuple[int, str]] = []
+        for rec, depth in span_tree(tracer):
+            while stack and stack[-1][0] >= depth:
+                stack.pop()
+            if rec.name == "compiled.jit_warmup":
+                ancestors = {name for _d, name in stack}
+                assert "block" not in ancestors
+                assert "compiled.block" not in ancestors
+            stack.append((depth, rec.name))
+        names = [rec.name for rec, _d in span_tree(tracer)]
+        assert "compiled.jit_warmup" in names
+
+
+def _raise_import_error(name: str):
+    raise ImportError(f"simulated absence of {name!r}")
+
+
+class TestCapabilityProbe:
+    def test_probe_with_working_importer(self):
+        fake_numba = type("FakeNumba", (), {"__version__": "9.9.9"})()
+        cap = probe(importer=lambda _name: fake_numba, env={})
+        assert cap == Capability(
+            available=True,
+            implementation="numba",
+            reason="numba 9.9.9",
+            numba_version="9.9.9",
+        )
+
+    def test_probe_with_failing_importer_preserves_reason(self):
+        cap = probe(importer=_raise_import_error, env={})
+        assert not cap.available
+        assert cap.implementation == "numpy"
+        assert "simulated absence" in cap.reason
+
+    @pytest.mark.parametrize("value", ("0", "false", "OFF", " no "))
+    def test_env_gate_disables_without_importing(self, value):
+        def explode(name: str):  # the gate must short-circuit the import
+            raise AssertionError("importer must not be called")
+
+        cap = probe(importer=explode, env={"REPRO_COMPILED": value})
+        assert not cap.available
+        assert "REPRO_COMPILED" in cap.reason
+
+    @pytest.mark.parametrize("value", ("", "1", "yes", "anything"))
+    def test_other_env_values_probe_normally(self, value):
+        cap = probe(
+            importer=lambda _name: type("N", (), {"__version__": "1"})(),
+            env={"REPRO_COMPILED": value},
+        )
+        assert cap.available
+
+    def test_require_available_raises_typed_error_on_fallback(self):
+        api.refresh(importer=_raise_import_error)
+        try:
+            with pytest.raises(CompiledUnavailableError) as excinfo:
+                api.require_available()
+            assert excinfo.value.code == "REPRO_COMPILED_UNAVAILABLE"
+        finally:
+            api.refresh()

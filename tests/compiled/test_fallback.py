@@ -1,0 +1,159 @@
+"""Fallback-leg proof: the compiled engine without numba is still exact.
+
+This file is the half of the two-leg CI matrix that runs *without* numba
+installed (and, via ``api.refresh(importer=...)``, simulates that state
+even when numba is present): the ``compiled``/``blocked-compiled``
+backends must keep resolving, produce byte-identical float64 curves, and
+share warm serving-cache entries with the numpy family — so a replica
+that loses its JIT never recomputes, and never serves different bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.compiled  # noqa: F401  (registers the compiled backends)
+from repro.compiled import api
+from repro.core.api import select_bandwidth
+from repro.core.backends import get_backend
+from repro.exceptions import CompiledUnavailableError
+from repro.serving.cache import ArtifactCache, canonical_backend
+
+
+def _raise_import_error(name: str):
+    raise ImportError(f"simulated absence of {name!r}")
+
+
+@pytest.fixture
+def sample():
+    rng = np.random.default_rng(11)
+    x = np.sort(rng.uniform(0.0, 1.0, 120))
+    y = np.sin(4.0 * x) + rng.normal(0.0, 0.25, 120)
+    return x, y
+
+
+@pytest.fixture(autouse=True)
+def restore_capability():
+    """Every test leaves the process on its genuinely probed capability."""
+    yield
+    api.refresh()
+
+
+class TestSimulatedNumbaAbsence:
+    def test_refresh_with_failing_importer_selects_numpy(self):
+        cap = api.refresh(importer=_raise_import_error)
+        assert not cap.available
+        assert api.implementation() == "numpy"
+        assert not api.jit_available()
+
+    def test_backends_resolve_and_match_numpy_bitwise(self, sample):
+        api.refresh(importer=_raise_import_error)
+        x, y = sample
+        grid = np.linspace(0.05, 0.6, 24)
+        ref = get_backend("numpy")(x, y, grid, "epanechnikov")
+        comp = get_backend("compiled")(x, y, grid, "epanechnikov")
+        blk = get_backend("blocked-compiled")(
+            x, y, grid, "epanechnikov", block_rows=17
+        )
+        assert comp.tobytes() == ref.tobytes()
+        assert blk.tobytes() == ref.tobytes()
+
+    def test_cv_scores_compiled_matches_reference_on_fallback(self, sample):
+        from repro.core.fastgrid import cv_scores_fastgrid
+
+        api.refresh(importer=_raise_import_error)
+        x, y = sample
+        grid = np.linspace(0.05, 0.6, 16)
+        got = api.cv_scores_compiled(x, y, grid, "triweight")
+        ref = cv_scores_fastgrid(x, y, grid, "triweight")
+        assert got.tobytes() == ref.tobytes()
+
+    def test_require_available_raises_typed_error(self):
+        api.refresh(importer=_raise_import_error)
+        with pytest.raises(CompiledUnavailableError) as excinfo:
+            api.require_available()
+        assert excinfo.value.code == "REPRO_COMPILED_UNAVAILABLE"
+
+
+class TestEnvGate:
+    def test_repro_compiled_zero_forces_numpy(self):
+        cap = api.refresh(env={"REPRO_COMPILED": "0"})
+        assert not cap.available
+        assert "REPRO_COMPILED" in cap.reason
+        assert api.implementation() == "numpy"
+
+    def test_gated_selection_still_works(self, sample):
+        api.refresh(env={"REPRO_COMPILED": "0"})
+        x, y = sample
+        result = select_bandwidth(
+            x, y, backend="compiled", n_bandwidths=12
+        )
+        ref = select_bandwidth(x, y, backend="numpy", n_bandwidths=12)
+        assert result.scores.tobytes() == ref.scores.tobytes()
+        assert result.bandwidth == pytest.approx(ref.bandwidth, abs=0.0)
+
+
+class TestServingCacheFamily:
+    """compiled and numpy share one fingerprint family — warm entries
+    written by either implementation serve the other, byte for byte."""
+
+    def test_canonical_backend_mapping(self):
+        assert canonical_backend("compiled") == "numpy"
+        assert canonical_backend("blocked-compiled") == "blocked"
+        # Existing names must keep their own keys (on-disk caches!).
+        for name in ("numpy", "blocked", "gpusim", "multicore"):
+            assert canonical_backend(name) == name
+
+    def test_warm_compiled_entry_hits_under_numpy(self, sample):
+        x, y = sample
+        cache = ArtifactCache(None)
+        cold = select_bandwidth(
+            x, y, backend="compiled", n_bandwidths=10, cache=cache
+        )
+        assert cold.diagnostics.get("cache") != "hit"
+        warm = select_bandwidth(
+            x, y, backend="numpy", n_bandwidths=10, cache=cache
+        )
+        assert warm.diagnostics["cache"] == "hit"
+        assert warm.scores.tobytes() == cold.scores.tobytes()
+        assert warm.bandwidth == pytest.approx(cold.bandwidth, abs=0.0)
+
+    def test_warm_numpy_entry_hits_under_fallback_compiled(self, sample):
+        """The real deployment story: a numba-less replica inherits the
+        warm cache of a jitted one and must hit, not recompute."""
+        x, y = sample
+        cache = ArtifactCache(None)
+        cold = select_bandwidth(
+            x, y, backend="numpy", n_bandwidths=10, cache=cache
+        )
+        api.refresh(importer=_raise_import_error)
+        warm = select_bandwidth(
+            x, y, backend="compiled", n_bandwidths=10, cache=cache
+        )
+        assert warm.diagnostics["cache"] == "hit"
+        assert warm.scores.tobytes() == cold.scores.tobytes()
+
+    def test_blocked_family_shares_entries_too(self, sample):
+        x, y = sample
+        cache = ArtifactCache(None)
+        cold = select_bandwidth(
+            x, y, backend="blocked-compiled", n_bandwidths=10, cache=cache
+        )
+        warm = select_bandwidth(
+            x, y, backend="blocked", n_bandwidths=10, cache=cache
+        )
+        assert warm.diagnostics["cache"] == "hit"
+        assert warm.scores.tobytes() == cold.scores.tobytes()
+
+    def test_distinct_backends_do_not_cross_hit(self, sample):
+        """gpusim accumulates in float32 — it must never share a key."""
+        x, y = sample
+        cache = ArtifactCache(None)
+        select_bandwidth(
+            x, y, backend="compiled", n_bandwidths=10, cache=cache
+        )
+        other = select_bandwidth(
+            x, y, backend="gpusim", n_bandwidths=10, cache=cache
+        )
+        assert other.diagnostics.get("cache") != "hit"
